@@ -1,0 +1,339 @@
+// Benchmarks: one per paper figure (reduced-scale, same code path as
+// cmd/experiments) plus the per-scheme decision micro-benchmarks
+// behind Fig. 15 and the ablation benches DESIGN.md calls out.
+//
+// The figure benches report, via b.ReportMetric, the headline quantity
+// of the corresponding figure (e.g. TLB's short-flow AFCT improvement
+// over ECMP at the highest load), so a -bench run doubles as a
+// regression check on the reproduction's shape.
+package tlb_test
+
+import (
+	"testing"
+
+	"tlb/internal/core"
+	"tlb/internal/eventsim"
+	"tlb/internal/experiments"
+	"tlb/internal/lb"
+	"tlb/internal/netem"
+	"tlb/internal/stats"
+	"tlb/internal/units"
+)
+
+// quick returns the reduced-scale options the benches run at.
+func quick() experiments.Options { return experiments.Quick() }
+
+// lastRatio extracts series[name]'s last point Y over series[ref]'s
+// last point Y — "how much better is ref than name at the highest x".
+func lastRatio(figs []experiments.Figure, figID, name, ref string) float64 {
+	for _, f := range figs {
+		if f.ID != figID {
+			continue
+		}
+		var a, b float64
+		for _, s := range f.Series {
+			if len(s.Points) == 0 {
+				continue
+			}
+			y := s.Points[len(s.Points)-1].Y
+			switch s.Name {
+			case name:
+				a = y
+			case ref:
+				b = y
+			}
+		}
+		if b != 0 {
+			return a / b
+		}
+	}
+	return 0
+}
+
+func runFig(b *testing.B, run func(experiments.Options) ([]experiments.Figure, error)) []experiments.Figure {
+	b.Helper()
+	var figs []experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		figs, err = run(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return figs
+}
+
+func BenchmarkFig3Granularity(b *testing.B) {
+	figs := runFig(b, experiments.Fig3And4)
+	// Fig 3b: packet-level switching must show the largest dup-ACK
+	// ratio; report it.
+	for _, f := range figs {
+		if f.ID == "fig3b" {
+			for _, bar := range f.Bars {
+				if bar.Label == "packet" {
+					b.ReportMetric(bar.Value, "dupAckRatio/packetLevel")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig4Granularity(b *testing.B) {
+	figs := runFig(b, experiments.Fig3And4)
+	for _, f := range figs {
+		if f.ID == "fig4c" {
+			for _, bar := range f.Bars {
+				if bar.Label == "flow" {
+					b.ReportMetric(bar.Value, "longTputFrac/flowLevel")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig7Model(b *testing.B) {
+	figs := runFig(b, experiments.Fig7)
+	// Report the mean |model - simulation| gap over fig7a, in packets.
+	for _, f := range figs {
+		if f.ID != "fig7a" || len(f.Series) != 2 {
+			continue
+		}
+		var gap float64
+		n := 0
+		for i := range f.Series[0].Points {
+			d := f.Series[0].Points[i].Y - f.Series[1].Points[i].Y
+			if d < 0 {
+				d = -d
+			}
+			gap += d
+			n++
+		}
+		if n > 0 {
+			b.ReportMetric(gap/float64(n), "modelSimGap/pkts")
+		}
+	}
+}
+
+func BenchmarkFig8ShortFlows(b *testing.B) {
+	figs := runFig(b, experiments.Fig8And9)
+	for _, f := range figs {
+		if f.ID == "fig8-9-summary" {
+			for _, bar := range f.Bars {
+				if bar.Label == "tlb" {
+					b.ReportMetric(bar.Value, "tlbLongGoodput/Gbps")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig9LongFlows(b *testing.B) {
+	runFig(b, experiments.Fig8And9)
+}
+
+func BenchmarkFig10WebSearch(b *testing.B) {
+	figs := runFig(b, experiments.Fig10)
+	if r := lastRatio(figs, "fig10a", "ecmp", "tlb"); r > 0 {
+		b.ReportMetric(r, "ecmpAFCT/tlbAFCT@maxLoad")
+	}
+	if r := lastRatio(figs, "fig10a", "letflow", "tlb"); r > 0 {
+		b.ReportMetric(r, "letflowAFCT/tlbAFCT@maxLoad")
+	}
+}
+
+func BenchmarkFig11DataMining(b *testing.B) {
+	figs := runFig(b, experiments.Fig11)
+	if r := lastRatio(figs, "fig11a", "ecmp", "tlb"); r > 0 {
+		b.ReportMetric(r, "ecmpAFCT/tlbAFCT@maxLoad")
+	}
+}
+
+func BenchmarkFig12DeadlineAgnostic(b *testing.B) {
+	figs := runFig(b, experiments.Fig12)
+	if r := lastRatio(figs, "fig12a", "tlb-75th", "tlb-25th"); r > 0 {
+		b.ReportMetric(r, "afct75th/afct25th@maxLoad")
+	}
+}
+
+func BenchmarkFig13VaryShort(b *testing.B) {
+	figs := runFig(b, experiments.Fig13)
+	if r := lastRatio(figs, "fig13a", "ecmp", "tlb"); r > 0 {
+		b.ReportMetric(r, "ecmpAFCT/tlbAFCT@maxShorts")
+	}
+}
+
+func BenchmarkFig14VaryLong(b *testing.B) {
+	figs := runFig(b, experiments.Fig14)
+	if r := lastRatio(figs, "fig14a", "ecmp", "tlb"); r > 0 {
+		b.ReportMetric(r, "ecmpAFCT/tlbAFCT@maxLongs")
+	}
+}
+
+func BenchmarkFig16AsymDelay(b *testing.B) {
+	figs := runFig(b, experiments.Fig16)
+	if r := lastRatio(figs, "fig16a", "rps", "tlb"); r > 0 {
+		b.ReportMetric(r, "rpsAFCT/tlbAFCT@maxAsym")
+	}
+}
+
+func BenchmarkFig17AsymBandwidth(b *testing.B) {
+	figs := runFig(b, experiments.Fig17)
+	if r := lastRatio(figs, "fig17a", "rps", "tlb"); r > 0 {
+		b.ReportMetric(r, "rpsAFCT/tlbAFCT@maxAsym")
+	}
+}
+
+// ---- Fig. 15: per-packet decision cost, proper testing.B style ----
+
+// benchPorts builds the uplink set the decision benches run against.
+func benchPorts(s *eventsim.Sim) []*netem.Port {
+	ports := make([]*netem.Port, 10)
+	for i := range ports {
+		ports[i] = netem.NewPort(s,
+			netem.LinkConfig{Bandwidth: units.Gbps, Delay: 10 * units.Microsecond},
+			netem.QueueConfig{Capacity: 256},
+			func(*netem.Packet) {}, "up")
+	}
+	return ports
+}
+
+func benchDecision(b *testing.B, factory lb.Factory) {
+	s := eventsim.New()
+	ports := benchPorts(s)
+	bal := factory(s, eventsim.NewRNG(1), ports)
+	const flows = 512
+	pkts := make([]*netem.Packet, flows)
+	for i := range pkts {
+		pkts[i] = &netem.Packet{
+			Flow:    netem.FlowID{Src: i % 97, Dst: 100 + i%89, Port: i},
+			Kind:    netem.Data,
+			Payload: 1460, Wire: 1500,
+		}
+	}
+	for i := 0; i < flows; i++ { // warm per-flow state
+		bal.Pick(pkts[i], ports)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bal.Pick(pkts[i%flows], ports)
+	}
+}
+
+func BenchmarkFig15DecisionECMP(b *testing.B)    { benchDecision(b, lb.ECMP()) }
+func BenchmarkFig15DecisionRPS(b *testing.B)     { benchDecision(b, lb.RPS()) }
+func BenchmarkFig15DecisionPresto(b *testing.B)  { benchDecision(b, lb.Presto(0)) }
+func BenchmarkFig15DecisionLetFlow(b *testing.B) { benchDecision(b, lb.LetFlow(0)) }
+func BenchmarkFig15DecisionDRILL(b *testing.B)   { benchDecision(b, lb.DRILL(2, 1)) }
+
+func BenchmarkFig15DecisionTLB(b *testing.B) {
+	benchDecision(b, core.Factory(core.DefaultConfig()))
+}
+
+// ---- Ablations (DESIGN.md §5) ----
+
+func BenchmarkAblationInterval(b *testing.B) {
+	runFig(b, experiments.AblationInterval)
+}
+
+func BenchmarkAblationThreshold(b *testing.B) {
+	runFig(b, experiments.AblationThreshold)
+}
+
+func BenchmarkAblationFixedGranularity(b *testing.B) {
+	figs := runFig(b, experiments.AblationFixedGranularity)
+	// Adaptive q_th should not lose to any fixed setting on AFCT.
+	for _, f := range figs {
+		if f.ID != "ablation-fixed-afct" {
+			continue
+		}
+		var adaptive, bestFixed float64
+		for _, bar := range f.Bars {
+			if bar.Label == "adaptive" {
+				adaptive = bar.Value
+			} else if bestFixed == 0 || bar.Value < bestFixed {
+				bestFixed = bar.Value
+			}
+		}
+		if bestFixed > 0 {
+			b.ReportMetric(adaptive/bestFixed, "adaptiveAFCT/bestFixedAFCT")
+		}
+	}
+}
+
+func BenchmarkAblationShortPolicy(b *testing.B) {
+	runFig(b, experiments.AblationShortPolicy)
+}
+
+// ---- Simulator core micro-benches (engine cost, not a paper figure) ----
+
+func BenchmarkEventQueue(b *testing.B) {
+	s := eventsim.New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.At(units.Time(i), fn)
+		if s.Pending() > 1024 {
+			for s.Step() {
+			}
+		}
+	}
+}
+
+func BenchmarkPortTransit(b *testing.B) {
+	s := eventsim.New()
+	delivered := 0
+	p := netem.NewPort(s,
+		netem.LinkConfig{Bandwidth: units.Gbps, Delay: 10 * units.Microsecond},
+		netem.QueueConfig{Capacity: 1 << 20},
+		func(*netem.Packet) { delivered++ }, "bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Send(&netem.Packet{Flow: netem.FlowID{Src: 1, Dst: 2}, Kind: netem.Data, Payload: 1460, Wire: 1500})
+		if i%1024 == 1023 {
+			s.Run()
+		}
+	}
+	s.Run()
+	_ = delivered
+	_ = stats.Point{}
+}
+
+func BenchmarkAblationSafeSwitch(b *testing.B) {
+	runFig(b, experiments.AblationSafeSwitch)
+}
+
+func BenchmarkAblationDemandCap(b *testing.B) {
+	runFig(b, experiments.AblationDemandCap)
+}
+
+func BenchmarkAblationTransport(b *testing.B) {
+	runFig(b, experiments.AblationTransport)
+}
+
+func BenchmarkFatTreeComparison(b *testing.B) {
+	figs := runFig(b, experiments.FatTreeComparison)
+	for _, f := range figs {
+		if f.ID != "fattree-afct" {
+			continue
+		}
+		var tlb, ecmp float64
+		for _, bar := range f.Bars {
+			switch bar.Label {
+			case "tlb":
+				tlb = bar.Value
+			case "ecmp":
+				ecmp = bar.Value
+			}
+		}
+		if tlb > 0 {
+			b.ReportMetric(ecmp/tlb, "ecmpAFCT/tlbAFCT")
+		}
+	}
+}
+
+func BenchmarkExtendedBaselines(b *testing.B) {
+	runFig(b, experiments.ExtendedBaselines)
+}

@@ -1,0 +1,82 @@
+// Command experiments regenerates the paper's figures on this
+// repository's simulator.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -fig fig10                # one figure, default scale
+//	experiments -fig fig3,fig4,fig7      # several
+//	experiments -fig all -flows 400      # everything, smaller runs
+//	experiments -fig ablations           # the design-choice ablations
+//
+// Output is a plain-text rendering of each panel: bars as
+// "label value" rows, curves as "# name" headers followed by "x y"
+// rows — the series the paper plots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tlb/internal/experiments"
+)
+
+func main() {
+	var (
+		figs   = flag.String("fig", "all", "comma-separated experiment names, \"all\", or \"ablations\"")
+		list   = flag.Bool("list", false, "list available experiments and exit")
+		seed   = flag.Uint64("seed", 42, "root RNG seed (same seed = identical numbers)")
+		flows  = flag.Int("flows", 800, "flows per large-scale run (fig10-12)")
+		points = flag.Int("points", 0, "cap sweep points per figure (0 = figure default)")
+		quiet  = flag.Bool("q", false, "suppress progress logging")
+		timing = flag.Bool("time", false, "print wall-clock time per experiment")
+		format = flag.String("format", "plain", "output format: plain or csv")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-22s %-18s %s\n", "NAME", "PAPER", "DESCRIPTION")
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-22s %-18s %s\n", e.Name, e.Paper, e.Description)
+		}
+		return
+	}
+
+	entries, err := experiments.Lookup(*figs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+
+	opt := experiments.Options{
+		Seed:        *seed,
+		FlowsPerRun: *flows,
+		SweepPoints: *points,
+	}
+	if !*quiet {
+		opt.Log = os.Stderr
+	}
+
+	for _, e := range entries {
+		start := time.Now()
+		fmt.Printf("#### %s (%s): %s\n", e.Name, e.Paper, e.Description)
+		figs, err := e.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		for _, f := range figs {
+			switch *format {
+			case "csv":
+				fmt.Print(f.CSV())
+			default:
+				fmt.Println(f.Format())
+			}
+		}
+		if *timing {
+			fmt.Printf("(%s took %v)\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Command tlbsim runs a single load-balancing scenario and prints its
+// metrics — the quickest way to poke at the simulator.
+//
+// Usage examples:
+//
+//	tlbsim -scheme tlb -workload websearch -load 0.6 -flows 500
+//	tlbsim -scheme ecmp -workload datamining -load 0.3
+//	tlbsim -scheme letflow -workload mix -shorts 100 -longs 3
+//
+// Workloads:
+//
+//	websearch   Poisson arrivals, DCTCP web-search flow sizes
+//	datamining  Poisson arrivals, VL2 data-mining flow sizes
+//	mix         static mix of -shorts short and -longs long flows on a
+//	            2-leaf fabric (the paper's §6.1 environment)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tlb/internal/core"
+	"tlb/internal/eventsim"
+	"tlb/internal/lb"
+	"tlb/internal/netem"
+	"tlb/internal/sim"
+	"tlb/internal/topology"
+	"tlb/internal/trace"
+	"tlb/internal/transport"
+	"tlb/internal/units"
+	"tlb/internal/workload"
+)
+
+func main() {
+	var (
+		scheme   = flag.String("scheme", "tlb", "load balancer: ecmp, rps, presto, letflow, drill, flowbender, conga, hermes, wcmp, tlb")
+		load     = flag.Float64("load", 0.5, "fabric load for Poisson workloads (0..1)")
+		flows    = flag.Int("flows", 500, "number of flows for Poisson workloads")
+		wl       = flag.String("workload", "websearch", "websearch, datamining or mix")
+		shorts   = flag.Int("shorts", 100, "short flows (mix workload)")
+		longs    = flag.Int("longs", 3, "long flows (mix workload)")
+		seed     = flag.Uint64("seed", 1, "RNG seed")
+		leaves   = flag.Int("leaves", 8, "leaf switches (Poisson workloads)")
+		spines   = flag.Int("spines", 8, "spine switches")
+		hosts    = flag.Int("hosts", 16, "hosts per leaf")
+		deadline = flag.Duration("deadline", 0, "TLB deadline override (e.g. 10ms); 0 = default")
+		traceN   = flag.Int("trace", 0, "print the last N flow lifecycle events after the run")
+	)
+	flag.Parse()
+
+	var tr *trace.Tracer
+	if *traceN > 0 {
+		tr = trace.New(*traceN)
+	}
+	res, err := run(*scheme, *wl, *load, *flows, *shorts, *longs, *seed, *leaves, *spines, *hosts, units.Time(deadline.Nanoseconds()), tr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tlbsim:", err)
+		os.Exit(1)
+	}
+	report(res)
+	if tr != nil {
+		fmt.Println("--- trace ---")
+		tr.Dump(os.Stdout)
+		fmt.Println("--- trace summary ---")
+		tr.Summary(os.Stdout)
+	}
+}
+
+func run(scheme, wl string, load float64, flows, shorts, longs int, seed uint64, leaves, spines, hostsPerLeaf int, deadline units.Time, tr *trace.Tracer) (*sim.Result, error) {
+	var topo topology.Config
+	var flowList []workload.Flow
+	var err error
+
+	mkTopo := func(l, s, h int) topology.Config {
+		return topology.Config{
+			Leaves: l, Spines: s, HostsPerLeaf: h,
+			HostLink:   netem.LinkConfig{Bandwidth: units.Gbps, Delay: 5 * units.Microsecond},
+			FabricLink: netem.LinkConfig{Bandwidth: units.Gbps, Delay: 10 * units.Microsecond},
+			Queue:      netem.QueueConfig{Capacity: 256, ECNThreshold: 20},
+		}
+	}
+
+	deadlines := workload.DeadlineDist{
+		Min: 5 * units.Millisecond, Max: 25 * units.Millisecond,
+		OnlyBelow: 100 * units.KB,
+	}
+
+	switch strings.ToLower(wl) {
+	case "websearch", "datamining":
+		topo = mkTopo(leaves, spines, hostsPerLeaf)
+		var sizes workload.SizeDist
+		if wl == "websearch" {
+			sizes = workload.Truncated{Dist: workload.WebSearch(), Max: 20 * units.MB}
+		} else {
+			sizes = workload.Truncated{Dist: workload.DataMining(), Max: 50 * units.MB}
+		}
+		fabricCap := float64(topo.Leaves) * float64(topo.Spines) * topo.FabricLink.Bandwidth.BytesPerSecond()
+		pc := workload.PoissonConfig{
+			Hosts:         topo.Hosts(),
+			Sizes:         sizes,
+			RateOverride:  load * fabricCap / sizes.Mean(),
+			Deadlines:     deadlines,
+			CrossLeafOnly: true,
+			LeafOf:        func(h int) int { return h / topo.HostsPerLeaf },
+		}
+		flowList, err = pc.Generate(eventsim.NewRNG(seed+1), flows, 0)
+		if err != nil {
+			return nil, err
+		}
+	case "mix":
+		topo = mkTopo(2, 15, 15)
+		senders := make([]int, topo.HostsPerLeaf)
+		receivers := make([]int, topo.HostsPerLeaf)
+		for i := range senders {
+			senders[i], receivers[i] = i, topo.HostsPerLeaf+i
+		}
+		mix := workload.StaticMix{
+			ShortFlows: shorts, LongFlows: longs,
+			ShortSizes:    workload.Uniform{MinSize: 40 * units.KB, MaxSize: 100 * units.KB},
+			LongSizes:     workload.Fixed{Size: 10 * units.MB},
+			Senders:       senders,
+			Receivers:     receivers,
+			ArrivalJitter: 20 * units.Millisecond,
+			Deadlines:     deadlines,
+		}
+		flowList, err = mix.Generate(eventsim.NewRNG(seed+1), 0)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("unknown workload %q", wl)
+	}
+
+	factory, err := schemeFactory(scheme, topo, deadline)
+	if err != nil {
+		return nil, err
+	}
+
+	return sim.Run(sim.Scenario{
+		Name:         fmt.Sprintf("%s-%s", scheme, wl),
+		Topology:     topo,
+		Transport:    transport.DefaultConfig(),
+		Balancer:     factory,
+		SchemeName:   scheme,
+		Seed:         seed,
+		Flows:        flowList,
+		Tracer:       tr,
+		StopWhenDone: true,
+		MaxTime:      60 * units.Second,
+	})
+}
+
+func schemeFactory(name string, topo topology.Config, deadline units.Time) (lb.Factory, error) {
+	switch strings.ToLower(name) {
+	case "ecmp":
+		return lb.ECMP(), nil
+	case "rps":
+		return lb.RPS(), nil
+	case "presto":
+		return lb.Presto(0), nil
+	case "letflow":
+		return lb.LetFlow(150 * units.Microsecond), nil
+	case "drill":
+		return lb.DRILL(2, 1), nil
+	case "flowbender":
+		return lb.FlowBender(lb.FlowBenderConfig{ECNThreshold: topo.Queue.ECNThreshold}), nil
+	case "conga":
+		return lb.CongaFlowlet(0), nil
+	case "hermes":
+		return lb.Hermes(lb.HermesConfig{}), nil
+	case "wcmp":
+		return lb.WCMP(), nil
+	case "tlb":
+		cfg := core.DefaultConfig()
+		cfg.LinkBandwidth = topo.FabricLink.Bandwidth
+		cfg.RTT = topo.BaseRTT()
+		cfg.MaxQTh = topo.Queue.Capacity
+		if deadline > 0 {
+			cfg.Deadline = deadline
+		}
+		return core.Factory(cfg), nil
+	default:
+		return nil, fmt.Errorf("unknown scheme %q (ecmp, rps, presto, letflow, drill, flowbender, conga, hermes, wcmp, tlb)", name)
+	}
+}
+
+func report(res *sim.Result) {
+	fmt.Printf("scenario        %s\n", res.Scenario)
+	fmt.Printf("sim time        %v\n", res.EndTime)
+	fmt.Printf("flows           %d (%d short, %d long), %d completed\n",
+		res.Count(sim.AllFlows), res.Count(sim.ShortFlows), res.Count(sim.LongFlows),
+		res.CompletedCount(sim.AllFlows))
+	fmt.Printf("drops           %d\n", res.Drops)
+	fmt.Printf("short AFCT      %v\n", res.AFCT(sim.ShortFlows))
+	fmt.Printf("short 99th FCT  %v\n", res.FCTPercentile(sim.ShortFlows, 99))
+	fmt.Printf("deadline misses %.1f%%\n", res.DeadlineMissRatio(sim.ShortFlows)*100)
+	fmt.Printf("long AFCT       %v\n", res.AFCT(sim.LongFlows))
+	fmt.Printf("long goodput    %.3f Gbps/flow\n", float64(res.Goodput(sim.LongFlows))/1e9)
+	fmt.Printf("short OOO ratio %.4f\n", res.OutOfOrderRatio(sim.ShortFlows))
+	fmt.Printf("long OOO ratio  %.4f\n", res.OutOfOrderRatio(sim.LongFlows))
+	fmt.Printf("uplink util     %.3f\n", res.UplinkUtilization())
+	fmt.Printf("retransmits     %d (timeouts %d)\n",
+		res.TotalRetransmits(sim.AllFlows), res.TotalTimeouts(sim.AllFlows))
+}

@@ -1,0 +1,3 @@
+module tlb
+
+go 1.22

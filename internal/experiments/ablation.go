@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tlb/internal/core"
+	"tlb/internal/lb"
+	"tlb/internal/sim"
+	"tlb/internal/stats"
+	"tlb/internal/units"
+)
+
+// The ablations probe the design choices DESIGN.md calls out. Each
+// runs TLB variants under the loaded web-search environment (load 0.7,
+// where granularity decisions actually bind) and reports short-flow
+// AFCT and long-flow goodput.
+
+// ablationLoad is the fabric load the ablations run at.
+const ablationLoad = 0.7
+
+// ablationEnv builds the shared contended environment.
+func ablationEnv(o Options) largeEnv {
+	return newLargeEnv(websearchSizes(), o.FlowsPerRun)
+}
+
+// ablationPoint runs one TLB variant and returns (AFCT seconds,
+// long goodput Gbps, deadline miss fraction).
+func ablationPoint(o Options, env largeEnv, name string, f lb.Factory) (float64, float64, float64, error) {
+	res, err := env.run(name, f, ablationLoad, o.Seed)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return res.AFCT(sim.ShortFlows).Seconds(),
+		float64(res.Goodput(sim.LongFlows)) / 1e9,
+		res.DeadlineMissRatio(sim.ShortFlows),
+		nil
+}
+
+func ablationFigure(id, title, xlabel string) (Figure, Figure) {
+	return Figure{ID: id + "-afct", Title: title + " (short AFCT)", XLabel: xlabel, YLabel: "AFCT (s)"},
+		Figure{ID: id + "-tput", Title: title + " (long goodput)", XLabel: xlabel, YLabel: "Gbps"}
+}
+
+// AblationInterval sweeps the q_th update interval t.
+func AblationInterval(o Options) ([]Figure, error) {
+	afct, tput := ablationFigure("ablation-interval", "TLB update interval", "interval (µs)")
+	sa := stats.Series{Name: "tlb"}
+	st := stats.Series{Name: "tlb"}
+	for _, us := range trim(o, []float64{125, 250, 500, 1000, 2000}) {
+		env := ablationEnv(o)
+		cfg := env.tlbConfig(0)
+		cfg.Interval = units.Time(us) * units.Microsecond
+		o.logf("ablation-interval: t=%vµs", us)
+		a, g, _, err := ablationPoint(o, env, fmt.Sprintf("tlb-t%v", us), tlbFactory(cfg))
+		if err != nil {
+			return nil, err
+		}
+		sa.Add(us, a)
+		st.Add(us, g)
+	}
+	afct.Series = []stats.Series{sa}
+	tput.Series = []stats.Series{st}
+	return []Figure{afct, tput}, nil
+}
+
+// AblationThreshold sweeps the short/long classification boundary.
+func AblationThreshold(o Options) ([]Figure, error) {
+	afct, tput := ablationFigure("ablation-threshold", "Short/long classification threshold", "threshold (KB)")
+	sa := stats.Series{Name: "tlb"}
+	st := stats.Series{Name: "tlb"}
+	for _, kb := range trim(o, []float64{25, 50, 100, 200, 400}) {
+		env := ablationEnv(o)
+		cfg := env.tlbConfig(0)
+		cfg.ShortThreshold = units.Bytes(kb) * units.KB
+		o.logf("ablation-threshold: %vKB", kb)
+		a, g, _, err := ablationPoint(o, env, fmt.Sprintf("tlb-th%v", kb), tlbFactory(cfg))
+		if err != nil {
+			return nil, err
+		}
+		sa.Add(kb, a)
+		st.Add(kb, g)
+	}
+	afct.Series = []stats.Series{sa}
+	tput.Series = []stats.Series{st}
+	return []Figure{afct, tput}, nil
+}
+
+// AblationFixedGranularity compares adaptive q_th against fixed
+// thresholds (0 = switch per packet, buffer = never switch), isolating
+// the value of the granularity calculator.
+func AblationFixedGranularity(o Options) ([]Figure, error) {
+	afct := Figure{ID: "ablation-fixed-afct", Title: "Adaptive vs fixed q_th (short AFCT)",
+		YLabel: "AFCT (s)"}
+	tput := Figure{ID: "ablation-fixed-tput", Title: "Adaptive vs fixed q_th (long goodput)",
+		YLabel: "Gbps"}
+	variants := []struct {
+		name  string
+		fixed int
+	}{
+		{"adaptive", -1},
+		{"fixed-0", 0},
+		{"fixed-16", 16},
+		{"fixed-64", 64},
+		{"fixed-256", 256},
+	}
+	for _, v := range variants {
+		env := ablationEnv(o)
+		cfg := env.tlbConfig(0)
+		cfg.FixedQTh = v.fixed
+		o.logf("ablation-fixed: %s", v.name)
+		a, g, _, err := ablationPoint(o, env, "tlb-"+v.name, tlbFactory(cfg))
+		if err != nil {
+			return nil, err
+		}
+		afct.Bars = append(afct.Bars, Bar{v.name, a})
+		tput.Bars = append(tput.Bars, Bar{v.name, g})
+	}
+	return []Figure{afct, tput}, nil
+}
+
+// AblationShortPolicy swaps the short-flow per-packet policy: global
+// shortest queue (TLB's choice), DRILL-style power-of-two-choices, and
+// uniform random spraying, while keeping the adaptive long-flow logic.
+func AblationShortPolicy(o Options) ([]Figure, error) {
+	afct := Figure{ID: "ablation-shortpolicy-afct", Title: "Short-flow path policy (short AFCT)",
+		YLabel: "AFCT (s)"}
+	tput := Figure{ID: "ablation-shortpolicy-tput", Title: "Short-flow path policy (long goodput)",
+		YLabel: "Gbps"}
+	policies := []struct {
+		name string
+		pick core.ShortPolicy
+	}{
+		{"shortest-queue", core.ShortShortestQueue},
+		{"po2c", core.ShortPowerOfTwo},
+		{"random", core.ShortRandom},
+	}
+	for _, p := range policies {
+		env := ablationEnv(o)
+		cfg := env.tlbConfig(0)
+		cfg.ShortFlowPolicy = p.pick
+		o.logf("ablation-shortpolicy: %s", p.name)
+		a, g, _, err := ablationPoint(o, env, "tlb-"+p.name, tlbFactory(cfg))
+		if err != nil {
+			return nil, err
+		}
+		afct.Bars = append(afct.Bars, Bar{p.name, a})
+		tput.Bars = append(tput.Bars, Bar{p.name, g})
+	}
+	return []Figure{afct, tput}, nil
+}
+
+// AblationSafeSwitch quantifies deviation #2 of DESIGN.md: the
+// reorder-safe switching guard on and off, plus hysteresis on and off.
+func AblationSafeSwitch(o Options) ([]Figure, error) {
+	afct := Figure{ID: "ablation-safeswitch-afct", Title: "Reorder-safe switching (short AFCT)",
+		YLabel: "AFCT (s)"}
+	tput := Figure{ID: "ablation-safeswitch-tput", Title: "Reorder-safe switching (long goodput)",
+		YLabel: "Gbps"}
+	variants := []struct {
+		name string
+		mut  func(*core.Config)
+	}{
+		{"guarded", func(c *core.Config) {}},
+		{"no-guard", func(c *core.Config) { c.DisableSafeSwitch = true }},
+		{"no-hysteresis", func(c *core.Config) { c.ShortHysteresis = 0 }},
+		{"neither", func(c *core.Config) { c.DisableSafeSwitch = true; c.ShortHysteresis = 0 }},
+	}
+	for _, v := range variants {
+		env := ablationEnv(o)
+		cfg := env.tlbConfig(0)
+		v.mut(&cfg)
+		o.logf("ablation-safeswitch: %s", v.name)
+		a, g, _, err := ablationPoint(o, env, "tlb-"+v.name, tlbFactory(cfg))
+		if err != nil {
+			return nil, err
+		}
+		afct.Bars = append(afct.Bars, Bar{v.name, a})
+		tput.Bars = append(tput.Bars, Bar{v.name, g})
+	}
+	return []Figure{afct, tput}, nil
+}
+
+// AblationDemandCap quantifies deviation #3: Eq. 1's long-flow demand
+// with and without the line-rate cap.
+func AblationDemandCap(o Options) ([]Figure, error) {
+	afct := Figure{ID: "ablation-demandcap-afct", Title: "Eq.1 demand cap (short AFCT)",
+		YLabel: "AFCT (s)"}
+	tput := Figure{ID: "ablation-demandcap-tput", Title: "Eq.1 demand cap (long goodput)",
+		YLabel: "Gbps"}
+	variants := []struct {
+		name string
+		mut  func(*core.Config)
+	}{
+		{"capped", func(c *core.Config) {}},
+		{"paper-literal", func(c *core.Config) { c.UncappedLongDemand = true }},
+	}
+	for _, v := range variants {
+		env := ablationEnv(o)
+		cfg := env.tlbConfig(0)
+		v.mut(&cfg)
+		o.logf("ablation-demandcap: %s", v.name)
+		a, g, _, err := ablationPoint(o, env, "tlb-"+v.name, tlbFactory(cfg))
+		if err != nil {
+			return nil, err
+		}
+		afct.Bars = append(afct.Bars, Bar{v.name, a})
+		tput.Bars = append(tput.Bars, Bar{v.name, g})
+	}
+	return []Figure{afct, tput}, nil
+}

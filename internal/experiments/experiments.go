@@ -1,0 +1,337 @@
+// Package experiments regenerates every figure of the paper's
+// evaluation (§2.2 motivation, §4.2 model verification, §6 NS2
+// simulations, §7 testbed) on this repository's simulator. Each FigNN
+// function returns the plotted series/bars; cmd/experiments prints
+// them, and the repository benchmarks run reduced-scale versions.
+//
+// Scale note: the returned shapes (who wins, by what factor, where
+// curves cross) are the reproduction target; absolute numbers differ
+// from the paper because the substrate is this repo's simulator, not
+// the authors' NS2 scripts. Options.Scale trades fidelity for runtime;
+// Quick() is what the benchmarks use.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"tlb/internal/core"
+	"tlb/internal/eventsim"
+	"tlb/internal/lb"
+	"tlb/internal/netem"
+	"tlb/internal/sim"
+	"tlb/internal/stats"
+	"tlb/internal/topology"
+	"tlb/internal/transport"
+	"tlb/internal/units"
+	"tlb/internal/workload"
+)
+
+// Options control experiment scale and reporting.
+type Options struct {
+	// Seed drives all randomness; the same seed reproduces every
+	// number exactly.
+	Seed uint64
+	// FlowsPerRun is the number of flows in each large-scale run
+	// (Fig. 10-12). More flows = tighter estimates, longer runs.
+	FlowsPerRun int
+	// SweepPoints caps the number of x-axis points per sweep; 0 keeps
+	// each figure's default grid.
+	SweepPoints int
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+// Default returns the standard reduced-scale options used by
+// cmd/experiments (full-figure shapes in minutes on one core).
+func Default() Options {
+	return Options{Seed: 42, FlowsPerRun: 800}
+}
+
+// Quick returns the miniature options used by the benchmarks.
+func Quick() Options {
+	return Options{Seed: 42, FlowsPerRun: 150, SweepPoints: 3}
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// trim reduces a sweep grid to at most o.SweepPoints entries, keeping
+// the endpoints.
+func trim[T any](o Options, xs []T) []T {
+	if o.SweepPoints <= 0 || len(xs) <= o.SweepPoints {
+		return xs
+	}
+	if o.SweepPoints == 1 {
+		return xs[len(xs)-1:]
+	}
+	out := make([]T, 0, o.SweepPoints)
+	for i := 0; i < o.SweepPoints; i++ {
+		idx := i * (len(xs) - 1) / (o.SweepPoints - 1)
+		out = append(out, xs[idx])
+	}
+	return out
+}
+
+// Bar is one categorical result (one bar of a bar chart).
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// Figure is one reproduced panel: either curves (Series) or bars.
+type Figure struct {
+	ID     string // e.g. "fig10a"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []stats.Series
+	Bars   []Bar
+}
+
+// CSV renders the figure as comma-separated rows: bars as
+// "label,value", curves as "series,x,y" — convenient for piping into
+// plotting tools.
+func (f *Figure) CSV() string {
+	out := fmt.Sprintf("# %s,%s\n", f.ID, f.Title)
+	for _, b := range f.Bars {
+		out += fmt.Sprintf("%s,%g\n", b.Label, b.Value)
+	}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			out += fmt.Sprintf("%s,%g,%g\n", s.Name, p.X, p.Y)
+		}
+	}
+	return out
+}
+
+// Format renders the figure for terminal output.
+func (f *Figure) Format() string {
+	out := fmt.Sprintf("== %s: %s ==\n", f.ID, f.Title)
+	if f.XLabel != "" || f.YLabel != "" {
+		out += fmt.Sprintf("   x: %s | y: %s\n", f.XLabel, f.YLabel)
+	}
+	for _, b := range f.Bars {
+		out += fmt.Sprintf("%-24s %.6g\n", b.Label, b.Value)
+	}
+	for _, s := range f.Series {
+		out += s.Format()
+	}
+	return out
+}
+
+// Scheme pairs a display name with a balancer factory, plus optional
+// end-host replication (RepFlow runs ECMP at the switch and replicates
+// mice at the hosts).
+type Scheme struct {
+	Name        string
+	Factory     lb.Factory
+	Replication *sim.ReplicationConfig
+}
+
+// baselines returns the four comparison schemes of the paper's §6 in
+// its plotting order. flowletGap parameterizes LetFlow (150 µs in NS2
+// experiments, 15 ms on the slow testbed).
+func baselines(flowletGap units.Time) []Scheme {
+	return []Scheme{
+		{Name: "ecmp", Factory: lb.ECMP()},
+		{Name: "rps", Factory: lb.RPS()},
+		{Name: "presto", Factory: lb.Presto(0)},
+		{Name: "letflow", Factory: lb.LetFlow(flowletGap)},
+	}
+}
+
+// ---- Shared scenario environments ----
+
+// basicEnv is the paper's small-scale environment (§2.2, §4.2, §6.1):
+// a leaf-spine with 15 equal-cost paths, 1 Gbps links, ~100 µs RTT.
+type basicEnv struct {
+	topo      topology.Config
+	transport transport.Config
+	shorts    int
+	longs     int
+	shortSize workload.SizeDist
+	longSize  workload.SizeDist
+	deadlines workload.DeadlineDist
+}
+
+// newBasicEnv builds the environment with the given buffer size
+// (256 packets in §2.2/§6.1, 512 in §4.2) and flow counts.
+func newBasicEnv(buffer, shorts, longs int) basicEnv {
+	return basicEnv{
+		topo: topology.Config{
+			Leaves:       2,
+			Spines:       15,
+			HostsPerLeaf: 15,
+			HostLink:     netem.LinkConfig{Bandwidth: units.Gbps, Delay: 5 * units.Microsecond},
+			FabricLink:   netem.LinkConfig{Bandwidth: units.Gbps, Delay: 10 * units.Microsecond},
+			Queue:        netem.QueueConfig{Capacity: buffer, ECNThreshold: 65},
+		},
+		transport: transport.DefaultConfig(),
+		shorts:    shorts,
+		longs:     longs,
+		// "Random size of less than 100KB" with the 70KB mean §4.2
+		// quotes: uniform on [40KB, 100KB].
+		shortSize: workload.Uniform{MinSize: 40 * units.KB, MaxSize: 100 * units.KB},
+		longSize:  workload.Fixed{Size: 10 * units.MB},
+		deadlines: workload.DeadlineDist{
+			Min: 5 * units.Millisecond, Max: 25 * units.Millisecond,
+			OnlyBelow: 100 * units.KB,
+		},
+	}
+}
+
+// flows materializes the static mix: senders on leaf 0, receivers on
+// leaf 1, shorts arriving over a 20 ms window against established
+// longs.
+func (e basicEnv) flows(seed uint64) []workload.Flow {
+	senders := make([]int, e.topo.HostsPerLeaf)
+	receivers := make([]int, e.topo.HostsPerLeaf)
+	for i := range senders {
+		senders[i] = i
+		receivers[i] = e.topo.HostsPerLeaf + i
+	}
+	mix := workload.StaticMix{
+		ShortFlows: e.shorts,
+		LongFlows:  e.longs,
+		ShortSizes: e.shortSize,
+		LongSizes:  e.longSize,
+		Senders:    senders,
+		Receivers:  receivers,
+		// Shorts burst into the established longs over a few ms — the
+		// §2.2 contention scenario.
+		ArrivalJitter: 5 * units.Millisecond,
+		Deadlines:     e.deadlines,
+	}
+	rng := newRNG(seed)
+	flows, err := mix.Generate(rng, 0)
+	if err != nil {
+		panic(err) // static config, cannot fail
+	}
+	return flows
+}
+
+// tlbConfig returns the TLB switch configuration matched to the
+// environment.
+func (e basicEnv) tlbConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.LinkBandwidth = e.topo.FabricLink.Bandwidth
+	cfg.RTT = e.topo.BaseRTT()
+	cfg.MaxQTh = e.topo.Queue.Capacity
+	cfg.MeanShortSize = units.Bytes(e.shortSize.Mean())
+	return cfg
+}
+
+// run executes one scenario in this environment.
+func (e basicEnv) run(name string, f lb.Factory, seed uint64, mut func(*sim.Scenario)) (*sim.Result, error) {
+	sc := sim.Scenario{
+		Name:         name,
+		Topology:     e.topo,
+		Transport:    e.transport,
+		Balancer:     f,
+		SchemeName:   name,
+		Seed:         seed,
+		Flows:        e.flows(seed + 1),
+		StopWhenDone: true,
+		MaxTime:      30 * units.Second,
+	}
+	if mut != nil {
+		mut(&sc)
+	}
+	return sim.Run(sc)
+}
+
+// ---- Large-scale environment (§6.2) ----
+
+// largeEnv is the web-search / data-mining environment: 8 leaves,
+// 8 spines, 1 Gbps, Poisson arrivals at a target fabric load.
+type largeEnv struct {
+	topo      topology.Config
+	transport transport.Config
+	sizes     workload.SizeDist
+	deadlines workload.DeadlineDist
+	flowCount int
+}
+
+func newLargeEnv(sizes workload.SizeDist, flowCount int) largeEnv {
+	return largeEnv{
+		topo: topology.Config{
+			Leaves:       8,
+			Spines:       8,
+			HostsPerLeaf: 32,
+			HostLink:     netem.LinkConfig{Bandwidth: units.Gbps, Delay: 5 * units.Microsecond},
+			FabricLink:   netem.LinkConfig{Bandwidth: units.Gbps, Delay: 10 * units.Microsecond},
+			Queue:        netem.QueueConfig{Capacity: 256, ECNThreshold: 65},
+		},
+		transport: transport.DefaultConfig(),
+		sizes:     sizes,
+		deadlines: workload.DeadlineDist{
+			Min: 5 * units.Millisecond, Max: 25 * units.Millisecond,
+			OnlyBelow: 100 * units.KB,
+		},
+		flowCount: flowCount,
+	}
+}
+
+// flows draws the Poisson workload for one load point. Load is defined
+// against the aggregate leaf-uplink capacity, the convention of the
+// load-balancing literature the paper follows; all flows cross the
+// fabric.
+func (e largeEnv) flows(load float64, seed uint64) ([]workload.Flow, error) {
+	fabricCapacity := float64(e.topo.Leaves) * float64(e.topo.Spines) * e.topo.FabricLink.Bandwidth.BytesPerSecond()
+	pc := workload.PoissonConfig{
+		Hosts:         e.topo.Hosts(),
+		Sizes:         e.sizes,
+		RateOverride:  load * fabricCapacity / e.sizes.Mean(),
+		Deadlines:     e.deadlines,
+		CrossLeafOnly: true,
+		LeafOf:        func(h int) int { return h / e.topo.HostsPerLeaf },
+	}
+	return pc.Generate(newRNG(seed), e.flowCount, 0)
+}
+
+func (e largeEnv) tlbConfig(deadline units.Time) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.LinkBandwidth = e.topo.FabricLink.Bandwidth
+	cfg.RTT = e.topo.BaseRTT()
+	cfg.MaxQTh = e.topo.Queue.Capacity
+	cfg.MeanShortSize = 30 * units.KB // mean short (<100KB) size of both CDFs, ~tens of KB
+	if deadline > 0 {
+		cfg.Deadline = deadline
+	}
+	return cfg
+}
+
+func (e largeEnv) run(name string, f lb.Factory, load float64, seed uint64) (*sim.Result, error) {
+	return e.runScheme(Scheme{Name: name, Factory: f}, load, seed)
+}
+
+// runScheme executes one scheme (with its optional end-host
+// replication) at one load point.
+func (e largeEnv) runScheme(s Scheme, load float64, seed uint64) (*sim.Result, error) {
+	flows, err := e.flows(load, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(sim.Scenario{
+		Name:         fmt.Sprintf("%s-load%.1f", s.Name, load),
+		Topology:     e.topo,
+		Transport:    e.transport,
+		Balancer:     s.Factory,
+		SchemeName:   s.Name,
+		Seed:         seed,
+		Flows:        flows,
+		Replication:  s.Replication,
+		StopWhenDone: true,
+		MaxTime:      60 * units.Second,
+	})
+}
+
+func newRNG(seed uint64) *eventsim.RNG { return eventsim.NewRNG(seed) }
+
+// tlbFactory adapts a TLB configuration to the scheme-factory shape the
+// runners consume.
+func tlbFactory(cfg core.Config) lb.Factory { return core.Factory(cfg) }

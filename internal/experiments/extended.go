@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tlb/internal/lb"
+	"tlb/internal/sim"
+	"tlb/internal/topology"
+	"tlb/internal/units"
+)
+
+// ExtendedBaselines goes beyond the paper's four comparisons: it pits
+// TLB against the broader related-work field of §8 — DRILL (per-packet
+// power-of-two-choices), a congestion-aware flowlet scheme (CONGA with
+// local signals), Hermes-style cautious rerouting, FlowBender-style
+// congestion-triggered re-hashing and WCMP — on the web-search sweep.
+// The paper discusses these systems but does not measure them; this
+// experiment fills that gap on the same substrate.
+func ExtendedBaselines(o Options) ([]Figure, error) {
+	env := newLargeEnv(websearchSizes(), o.FlowsPerRun)
+	schemes := extendedSchemeSet(env)
+	return largeSweep(o, env, schemes, "extended", "web search, extended field")
+}
+
+// extendedSchemeSet builds the wider comparison set for an environment.
+func extendedSchemeSet(env largeEnv) []Scheme {
+	return []Scheme{
+		{Name: "ecmp", Factory: lb.ECMP()},
+		{Name: "drill", Factory: lb.DRILL(2, 1)},
+		{Name: "conga", Factory: lb.CongaFlowlet(0)},
+		{Name: "hermes", Factory: lb.Hermes(lb.HermesConfig{})},
+		{Name: "flowbender", Factory: lb.FlowBender(lb.FlowBenderConfig{ECNThreshold: env.topo.Queue.ECNThreshold})},
+		{Name: "wcmp", Factory: lb.WCMP()},
+		{Name: "letflow", Factory: lb.LetFlow(150 * units.Microsecond)},
+		{Name: "repflow", Factory: lb.ECMP(),
+			Replication: &sim.ReplicationConfig{Threshold: 100 * units.KB, Copies: 2}},
+		{Name: "tlb", Factory: tlbFactory(env.tlbConfig(0))},
+	}
+}
+
+// ExtendedAsymmetric runs the wider field on the bandwidth-asymmetric
+// testbed (the Fig. 17 setting, where WCMP's static weighting and the
+// delay-aware schemes differentiate most).
+func ExtendedAsymmetric(o Options) ([]Figure, error) {
+	afct := Figure{ID: "extended-asym-afct", Title: "Short AFCT, 2 of 10 links at 5 Mbps",
+		YLabel: "AFCT (s)"}
+	tput := Figure{ID: "extended-asym-tput", Title: "Long goodput, 2 of 10 links at 5 Mbps",
+		YLabel: "Mbps per flow"}
+
+	env := newTestbedEnv(100, 4)
+	slow := env.topo.FabricLink
+	slow.Bandwidth = 5 * units.Mbps
+	env.topo.Overrides = append(env.topo.Overrides,
+		topology.LinkOverride{Leaf: 0, Spine: 2, Link: slow},
+		topology.LinkOverride{Leaf: 0, Spine: 7, Link: slow})
+
+	schemes := []Scheme{
+		{Name: "ecmp", Factory: lb.ECMP()},
+		{Name: "wcmp", Factory: lb.WCMP()},
+		{Name: "drill", Factory: lb.DRILL(2, 1)},
+		{Name: "conga", Factory: lb.CongaFlowlet(0)},
+		{Name: "hermes", Factory: lb.Hermes(lb.HermesConfig{})},
+		{Name: "flowbender", Factory: lb.FlowBender(lb.FlowBenderConfig{ECNThreshold: env.topo.Queue.ECNThreshold})},
+		{Name: "letflow", Factory: lb.LetFlow(testbedFlowletGap)},
+		{Name: "tlb", Factory: tlbFactory(env.tlbConfig())},
+	}
+	for _, s := range schemes {
+		o.logf("extended-asym: %s", s.Name)
+		res, err := sim.Run(sim.Scenario{
+			Name:         "extended-asym-" + s.Name,
+			Topology:     env.topo,
+			Transport:    env.transport,
+			Balancer:     s.Factory,
+			SchemeName:   s.Name,
+			Seed:         o.Seed,
+			Flows:        env.flows(o.Seed + 1),
+			StopWhenDone: true,
+			MaxTime:      300 * units.Second,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("extended-asym %s: %w", s.Name, err)
+		}
+		afct.Bars = append(afct.Bars, Bar{s.Name, res.AFCT(sim.ShortFlows).Seconds()})
+		tput.Bars = append(tput.Bars, Bar{s.Name, float64(res.Goodput(sim.LongFlows)) / 1e6})
+	}
+	return []Figure{afct, tput}, nil
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tlb/internal/sim"
+	"tlb/internal/stats"
+	"tlb/internal/units"
+	"tlb/internal/workload"
+)
+
+// loadGrid is the paper's workload sweep.
+var loadGrid = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+
+// fourPanels aggregates one large-scale run into the paper's four
+// standard panels.
+type fourPanels struct {
+	afct, tail, miss, tput Figure
+}
+
+func newFourPanels(prefix, workloadName string) *fourPanels {
+	return &fourPanels{
+		afct: Figure{ID: prefix + "a", Title: "AFCT of short flows (" + workloadName + ")",
+			XLabel: "load", YLabel: "AFCT (s)"},
+		tail: Figure{ID: prefix + "b", Title: "99th percentile FCT of short flows (" + workloadName + ")",
+			XLabel: "load", YLabel: "FCT (s)"},
+		miss: Figure{ID: prefix + "c", Title: "Missed deadlines of short flows (" + workloadName + ")",
+			XLabel: "load", YLabel: "miss fraction"},
+		tput: Figure{ID: prefix + "d", Title: "Throughput of long flows (" + workloadName + ")",
+			XLabel: "load", YLabel: "per-flow goodput (Gbps)"},
+	}
+}
+
+func (p *fourPanels) addPoint(series string, load float64, res *sim.Result) {
+	add := func(f *Figure, y float64) {
+		for i := range f.Series {
+			if f.Series[i].Name == series {
+				f.Series[i].Add(load, y)
+				return
+			}
+		}
+		s := stats.Series{Name: series}
+		s.Add(load, y)
+		f.Series = append(f.Series, s)
+	}
+	add(&p.afct, res.AFCT(sim.ShortFlows).Seconds())
+	add(&p.tail, res.FCTPercentile(sim.ShortFlows, 99).Seconds())
+	add(&p.miss, res.DeadlineMissRatio(sim.ShortFlows))
+	add(&p.tput, float64(res.Goodput(sim.LongFlows))/1e9)
+}
+
+func (p *fourPanels) figures() []Figure {
+	return []Figure{p.afct, p.tail, p.miss, p.tput}
+}
+
+// largeSweep runs the scheme set over the load grid in the given
+// environment.
+func largeSweep(o Options, env largeEnv, schemes []Scheme, prefix, workloadName string) ([]Figure, error) {
+	panels := newFourPanels(prefix, workloadName)
+	loads := trim(o, loadGrid)
+	for _, load := range loads {
+		for _, s := range schemes {
+			o.logf("%s: %s at load %.1f", prefix, s.Name, load)
+			res, err := env.runScheme(s, load, o.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s load %.1f: %w", prefix, s.Name, load, err)
+			}
+			panels.addPoint(s.Name, load, res)
+		}
+	}
+	return panels.figures(), nil
+}
+
+// Fig10 reproduces the web-search large-scale sweep (§6.2): AFCT, tail
+// FCT and deadline misses of short flows plus long-flow throughput for
+// ECMP, RPS, Presto, LetFlow and TLB over loads 0.1–0.8.
+func Fig10(o Options) ([]Figure, error) {
+	env := newLargeEnv(websearchSizes(), o.FlowsPerRun)
+	schemes := append(baselines(150*units.Microsecond),
+		Scheme{Name: "tlb", Factory: tlbFactory(env.tlbConfig(0))})
+	return largeSweep(o, env, schemes, "fig10", "web search")
+}
+
+// Fig11 reproduces the data-mining sweep (§6.2). The VL2 elephant tail
+// is truncated at 50 MB (paper: <5% of flows exceed 35 MB) to bound
+// single-run time; the mice/elephant boundary the paper discusses is
+// preserved.
+func Fig11(o Options) ([]Figure, error) {
+	env := newLargeEnv(dataminingSizes(), o.FlowsPerRun*2/3)
+	schemes := append(baselines(150*units.Microsecond),
+		Scheme{Name: "tlb", Factory: tlbFactory(env.tlbConfig(0))})
+	return largeSweep(o, env, schemes, "fig11", "data mining")
+}
+
+// Fig12 reproduces the deadline-agnostic study (§6.3): TLB configured
+// with the 5th/25th/50th/75th percentile of the (unknown to the
+// switch) U[5ms,25ms] deadline distribution, under the web-search
+// workload.
+func Fig12(o Options) ([]Figure, error) {
+	env := newLargeEnv(websearchSizes(), o.FlowsPerRun)
+	percentiles := []struct {
+		name string
+		d    units.Time
+	}{
+		{"tlb-5th", 5 * units.Millisecond},
+		{"tlb-25th", 10 * units.Millisecond},
+		{"tlb-50th", 15 * units.Millisecond},
+		{"tlb-75th", 20 * units.Millisecond},
+	}
+	schemes := make([]Scheme, 0, len(percentiles))
+	for _, p := range percentiles {
+		schemes = append(schemes, Scheme{Name: p.name, Factory: tlbFactory(env.tlbConfig(p.d))})
+	}
+	return largeSweep(o, env, schemes, "fig12", "web search, deadline-agnostic")
+}
+
+// websearchSizes returns the web-search distribution truncated at
+// 20 MB: the 2% beyond it dominates runtime without changing the
+// short-flow metrics or the ordering of long-flow throughputs.
+func websearchSizes() workload.SizeDist {
+	return workload.Truncated{Dist: workload.WebSearch(), Max: 20 * units.MB}
+}
+
+// dataminingSizes returns the data-mining distribution truncated at
+// 50 MB.
+func dataminingSizes() workload.SizeDist {
+	return workload.Truncated{Dist: workload.DataMining(), Max: 50 * units.MB}
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"tlb/internal/model"
+	"tlb/internal/sim"
+	"tlb/internal/stats"
+	"tlb/internal/units"
+)
+
+// fig7Env is the §4.2 verification setup: 512-packet buffers, 3 long +
+// 100 short flows, X = 70 KB, D = 10 ms.
+type fig7Env struct {
+	basicEnv
+	deadline units.Time
+}
+
+func newFig7Env(shorts, longs, paths int, deadline units.Time) fig7Env {
+	env := newBasicEnv(512, shorts, longs)
+	env.topo.Spines = paths
+	if paths > env.topo.HostsPerLeaf {
+		env.topo.HostsPerLeaf = paths
+	}
+	return fig7Env{basicEnv: env, deadline: deadline}
+}
+
+// modelParams translates the environment into the queueing model's
+// inputs.
+func (e fig7Env) modelParams() model.Params {
+	return model.Params{
+		Paths:         e.topo.Spines,
+		ShortFlows:    e.shorts,
+		LongFlows:     e.longs,
+		LinkBandwidth: e.topo.FabricLink.Bandwidth,
+		RTT:           e.topo.BaseRTT(),
+		MeanShortSize: units.Bytes(e.shortSize.Mean()),
+		LongWindow:    64 * units.KiB,
+		Deadline:      e.deadline,
+		Interval:      500 * units.Microsecond,
+		MSS:           e.transport.MSS,
+		// Fig. 7's numeric curves are the paper's literal Eq. 9.
+		UncappedLongDemand: true,
+	}
+}
+
+// simulatedMinQTh searches for the smallest fixed switching threshold
+// under which the run misses no short-flow deadlines — the empirical
+// counterpart of Eq. 9. The search is a binary search over [0, buffer]
+// exploiting that more stickiness (larger q_th) only helps shorts.
+func (e fig7Env) simulatedMinQTh(o Options, seed uint64) (int, error) {
+	missesAt := func(qth int) (float64, error) {
+		cfg := e.tlbConfig()
+		cfg.FixedQTh = qth
+		cfg.Deadline = e.deadline
+		res, err := e.run(fmt.Sprintf("fig7-q%d", qth), tlbFactory(cfg), seed, func(sc *sim.Scenario) {
+			// Override deadlines to the fixed model deadline D so the
+			// measurement matches the model's question ("do shorts
+			// finish within D").
+			for i := range sc.Flows {
+				if sc.Flows[i].Size <= 100*units.KB {
+					sc.Flows[i].Deadline = sc.Flows[i].Start + e.deadline
+				} else {
+					sc.Flows[i].Deadline = 0
+				}
+			}
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.DeadlineMissRatio(sim.ShortFlows), nil
+	}
+
+	max := e.topo.Queue.Capacity
+	// Tolerate a small residual miss ratio: a handful of unlucky
+	// flows (hash collisions on the reverse path, ACK losses) would
+	// otherwise absorb the whole search range.
+	const tol = 0.02
+	mAtMax, err := missesAt(max)
+	if err != nil {
+		return 0, err
+	}
+	if mAtMax > tol {
+		return max, nil // even full stickiness cannot meet D
+	}
+	lo, hi := 0, max // invariant: hi satisfies, lo-1 unknown/fails
+	m0, err := missesAt(0)
+	if err != nil {
+		return 0, err
+	}
+	if m0 <= tol {
+		return 0, nil
+	}
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		m, err := missesAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		o.logf("fig7: qth=%d miss=%.3f", mid, m)
+		if m <= tol {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// Fig7 reproduces the §4.2 model verification: the minimum switching
+// threshold q_th, numeric (Eq. 9) versus simulated, swept over the
+// number of short flows (7a), long flows (7b), paths (7c) and the
+// deadline (7d).
+func Fig7(o Options) ([]Figure, error) {
+	defaultDeadline := 10 * units.Millisecond
+
+	type sweep struct {
+		id, title, xlabel string
+		xs                []float64
+		env               func(x float64) fig7Env
+	}
+	sweeps := []sweep{
+		{"fig7a", "q_th vs number of short flows", "short flows",
+			[]float64{20, 40, 60, 80, 100},
+			func(x float64) fig7Env { return newFig7Env(int(x), 3, 15, defaultDeadline) }},
+		{"fig7b", "q_th vs number of long flows", "long flows",
+			[]float64{1, 2, 3, 4, 5},
+			func(x float64) fig7Env { return newFig7Env(100, int(x), 15, defaultDeadline) }},
+		{"fig7c", "q_th vs number of paths", "paths",
+			[]float64{10, 15, 20, 25, 30},
+			func(x float64) fig7Env { return newFig7Env(100, 3, int(x), defaultDeadline) }},
+		{"fig7d", "q_th vs deadline", "deadline (ms)",
+			[]float64{5, 10, 15, 20, 25},
+			func(x float64) fig7Env {
+				return newFig7Env(100, 3, 15, units.Time(x)*units.Millisecond)
+			}},
+	}
+
+	var figs []Figure
+	for _, sw := range sweeps {
+		xs := trim(o, sw.xs)
+		numeric := stats.Series{Name: "model"}
+		simulated := stats.Series{Name: "simulation"}
+		for _, x := range xs {
+			env := sw.env(x)
+			q := env.modelParams().QTh()
+			if math.IsInf(q, 1) {
+				q = float64(env.topo.Queue.Capacity)
+			}
+			numeric.Add(x, q)
+			o.logf("fig7 %s: x=%v model=%.1f, searching simulation...", sw.id, x, q)
+			sq, err := env.simulatedMinQTh(o, o.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("%s at %v: %w", sw.id, x, err)
+			}
+			simulated.Add(x, float64(sq))
+		}
+		figs = append(figs, Figure{
+			ID: sw.id, Title: sw.title, XLabel: sw.xlabel,
+			YLabel: "min q_th (packets)",
+			Series: []stats.Series{numeric, simulated},
+		})
+	}
+	return figs, nil
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"tlb/internal/eventsim"
+	"tlb/internal/netem"
+	"tlb/internal/units"
+)
+
+// Fig15 reproduces the §7 overhead study in this repository's terms.
+// The paper measures switch CPU and memory utilization on BMv2; here
+// the equivalent question is "what does each scheme's per-packet
+// forwarding decision cost". fig15a reports nanoseconds per decision,
+// fig15b bytes of per-switch scheme state after a realistic flow mix —
+// TLB's overhead must be a small constant over ECMP/RPS/Presto, which
+// is the figure's claim.
+//
+// The repository benchmarks (BenchmarkFig15*) measure the same thing
+// under the standard testing.B machinery; this function exists so
+// cmd/experiments can print the figure without the bench harness.
+func Fig15(o Options) ([]Figure, error) {
+	sim := eventsim.New()
+	rng := newRNG(o.Seed)
+	ports := make([]*netem.Port, 10)
+	for i := range ports {
+		ports[i] = netem.NewPort(sim,
+			netem.LinkConfig{Bandwidth: units.Gbps, Delay: 10 * units.Microsecond},
+			netem.QueueConfig{Capacity: 256},
+			func(*netem.Packet) {}, "up")
+	}
+
+	env := newTestbedEnv(100, 4)
+	schemes := append(baselines(testbedFlowletGap), Scheme{Name: "tlb", Factory: tlbFactory(env.tlbConfig())})
+
+	cpu := Figure{ID: "fig15a", Title: "Per-packet decision cost", YLabel: "ns/decision"}
+	mem := Figure{ID: "fig15b", Title: "Per-switch scheme state", YLabel: "bytes after 1000-flow mix"}
+
+	const decisions = 200000
+	const flows = 1000
+	for _, s := range schemes {
+		bal := s.Factory(sim, rng.Split(), ports)
+		pkts := make([]*netem.Packet, flows)
+		for i := range pkts {
+			pkts[i] = &netem.Packet{
+				Flow:    netem.FlowID{Src: i % 97, Dst: 100 + i%89, Port: i},
+				Kind:    netem.Data,
+				Payload: 1460, Wire: 1500,
+			}
+		}
+		// Memory: live heap growth from warming the scheme's state
+		// with the flow mix (flow tables, flowlet maps, ...).
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		for i := 0; i < flows; i++ {
+			bal.Pick(pkts[i], ports)
+		}
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		stateBytes := float64(after.HeapAlloc) - float64(before.HeapAlloc)
+		if stateBytes < 0 {
+			stateBytes = 0
+		}
+
+		// CPU: steady-state decision cost over the warmed state.
+		start := time.Now()
+		for i := 0; i < decisions; i++ {
+			bal.Pick(pkts[i%flows], ports)
+		}
+		elapsed := time.Since(start)
+
+		cpu.Bars = append(cpu.Bars, Bar{s.Name, float64(elapsed.Nanoseconds()) / decisions})
+		mem.Bars = append(mem.Bars, Bar{s.Name, stateBytes})
+		o.logf("fig15: %s %.1f ns/decision", s.Name, float64(elapsed.Nanoseconds())/decisions)
+	}
+	return []Figure{cpu, mem}, nil
+}

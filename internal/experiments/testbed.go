@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tlb/internal/core"
+	"tlb/internal/netem"
+	"tlb/internal/sim"
+	"tlb/internal/stats"
+	"tlb/internal/topology"
+	"tlb/internal/transport"
+	"tlb/internal/units"
+	"tlb/internal/workload"
+)
+
+// testbedEnv mirrors the paper's §7 Mininet/P4 testbed: 10 equal-cost
+// paths of 20 Mbps with 1 ms per-link delay, 256-packet buffers,
+// 100 short (<100 KB) + 4 long (5 MB) flows, deadlines U[2s,6s] with
+// D = 3 s, and both the flowlet timeout and the TLB update interval at
+// 15 ms.
+type testbedEnv struct {
+	topo      topology.Config
+	transport transport.Config
+	shorts    int
+	longs     int
+}
+
+func newTestbedEnv(shorts, longs int) testbedEnv {
+	return testbedEnv{
+		topo: topology.Config{
+			Leaves:       2,
+			Spines:       10,
+			HostsPerLeaf: 10,
+			HostLink:     netem.LinkConfig{Bandwidth: 20 * units.Mbps, Delay: units.Millisecond},
+			FabricLink:   netem.LinkConfig{Bandwidth: 20 * units.Mbps, Delay: units.Millisecond},
+			Queue:        netem.QueueConfig{Capacity: 256, ECNThreshold: 20},
+		},
+		transport: testbedTransport(),
+		shorts:    shorts,
+		longs:     longs,
+	}
+}
+
+func testbedTransport() transport.Config {
+	cfg := transport.DefaultConfig()
+	// RTT here is ~8 ms; the datacenter 10 ms RTO floor would fire
+	// spuriously. Use a floor a few RTTs out, like Mininet's Linux
+	// stack would converge to.
+	cfg.MinRTO = 50 * units.Millisecond
+	cfg.InitialRTO = 50 * units.Millisecond
+	return cfg
+}
+
+const testbedFlowletGap = 15 * units.Millisecond
+
+func (e testbedEnv) tlbConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.LinkBandwidth = e.topo.FabricLink.Bandwidth
+	cfg.RTT = e.topo.BaseRTT()
+	cfg.Interval = 15 * units.Millisecond
+	cfg.Deadline = 3 * units.Second
+	cfg.MaxQTh = e.topo.Queue.Capacity
+	cfg.MeanShortSize = 55 * units.KB
+	return cfg
+}
+
+func (e testbedEnv) flows(seed uint64) []workload.Flow {
+	senders := make([]int, e.topo.HostsPerLeaf)
+	receivers := make([]int, e.topo.HostsPerLeaf)
+	for i := range senders {
+		senders[i] = i
+		receivers[i] = e.topo.HostsPerLeaf + i
+	}
+	mix := workload.StaticMix{
+		ShortFlows:    e.shorts,
+		LongFlows:     e.longs,
+		ShortSizes:    workload.Uniform{MinSize: 10 * units.KB, MaxSize: 100 * units.KB},
+		LongSizes:     workload.Fixed{Size: 5 * units.MB},
+		Senders:       senders,
+		Receivers:     receivers,
+		ArrivalJitter: 500 * units.Millisecond,
+		Deadlines: workload.DeadlineDist{
+			Min: 2 * units.Second, Max: 6 * units.Second,
+			OnlyBelow: 100 * units.KB,
+		},
+	}
+	flows, err := mix.Generate(newRNG(seed), 0)
+	if err != nil {
+		panic(err)
+	}
+	return flows
+}
+
+// schemes returns the five §7 schemes configured for the slow fabric.
+func (e testbedEnv) schemes() []Scheme {
+	return append(baselines(testbedFlowletGap), Scheme{Name: "tlb", Factory: tlbFactory(e.tlbConfig())})
+}
+
+// normalizedPanels builds the two §7 panels: AFCT of short flows and
+// mean long-flow throughput, each normalized to TLB's result at the
+// same x (the paper's presentation).
+type normalizedPanels struct {
+	afct, tput Figure
+}
+
+func newNormalizedPanels(prefix, xlabel string) *normalizedPanels {
+	return &normalizedPanels{
+		afct: Figure{ID: prefix + "a", Title: "Normalized AFCT of short flows",
+			XLabel: xlabel, YLabel: "AFCT / TLB's AFCT"},
+		tput: Figure{ID: prefix + "b", Title: "Normalized throughput of long flows",
+			XLabel: xlabel, YLabel: "goodput / TLB's goodput"},
+	}
+}
+
+// addColumn appends one x-column. order fixes the series order (map
+// iteration would randomize it run to run).
+func (p *normalizedPanels) addColumn(x float64, order []string, results map[string]*sim.Result) {
+	ref := results["tlb"]
+	refAFCT := ref.AFCT(sim.ShortFlows).Seconds()
+	refTput := float64(ref.Goodput(sim.LongFlows))
+	add := func(f *Figure, name string, y float64) {
+		for i := range f.Series {
+			if f.Series[i].Name == name {
+				f.Series[i].Add(x, y)
+				return
+			}
+		}
+		s := stats.Series{Name: name}
+		s.Add(x, y)
+		f.Series = append(f.Series, s)
+	}
+	for _, name := range order {
+		res := results[name]
+		if res == nil {
+			continue
+		}
+		if refAFCT > 0 {
+			add(&p.afct, name, res.AFCT(sim.ShortFlows).Seconds()/refAFCT)
+		}
+		if refTput > 0 {
+			add(&p.tput, name, float64(res.Goodput(sim.LongFlows))/refTput)
+		}
+	}
+}
+
+// testbedSweep runs all schemes over a list of environment variants.
+func testbedSweep(o Options, prefix, xlabel string, xs []float64, mk func(x float64) testbedEnv, mut func(env *testbedEnv, sc *sim.Scenario)) ([]Figure, error) {
+	panels := newNormalizedPanels(prefix, xlabel)
+	for _, x := range xs {
+		env := mk(x)
+		results := map[string]*sim.Result{}
+		var order []string
+		for _, s := range env.schemes() {
+			o.logf("%s: %s at x=%v", prefix, s.Name, x)
+			sc := sim.Scenario{
+				Name:         fmt.Sprintf("%s-%s-%v", prefix, s.Name, x),
+				Topology:     env.topo,
+				Transport:    env.transport,
+				Balancer:     s.Factory,
+				SchemeName:   s.Name,
+				Seed:         o.Seed,
+				Flows:        env.flows(o.Seed + 1),
+				StopWhenDone: true,
+				MaxTime:      120 * units.Second,
+			}
+			if mut != nil {
+				mut(&env, &sc)
+			}
+			res, err := sim.Run(sc)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s x=%v: %w", prefix, s.Name, x, err)
+			}
+			results[s.Name] = res
+			order = append(order, s.Name)
+		}
+		panels.addColumn(x, order, results)
+	}
+	return []Figure{panels.afct, panels.tput}, nil
+}
+
+// Fig13 reproduces §7's Fig. 13: testbed performance as the number of
+// short flows grows (normalized to TLB).
+func Fig13(o Options) ([]Figure, error) {
+	xs := trim(o, []float64{50, 100, 150, 200})
+	return testbedSweep(o, "fig13", "number of short flows", xs,
+		func(x float64) testbedEnv { return newTestbedEnv(int(x), 4) }, nil)
+}
+
+// Fig14 reproduces Fig. 14: varying the number of long flows.
+func Fig14(o Options) ([]Figure, error) {
+	xs := trim(o, []float64{2, 4, 6, 8})
+	return testbedSweep(o, "fig14", "number of long flows", xs,
+		func(x float64) testbedEnv { return newTestbedEnv(100, int(x)) }, nil)
+}
+
+// Fig16 reproduces Fig. 16: topology asymmetry by adding propagation
+// delay to two leaf-to-spine links.
+func Fig16(o Options) ([]Figure, error) {
+	xs := trim(o, []float64{0, 1, 2, 4}) // extra one-way delay, ms
+	return testbedSweep(o, "fig16", "extra delay on 2 links (ms)", xs,
+		func(x float64) testbedEnv {
+			env := newTestbedEnv(100, 4)
+			slow := env.topo.FabricLink
+			slow.Delay += units.Time(x) * units.Millisecond
+			env.topo.Overrides = []topology.LinkOverride{
+				{Leaf: 0, Spine: 2, Link: slow},
+				{Leaf: 0, Spine: 7, Link: slow},
+			}
+			return env
+		}, nil)
+}
+
+// Fig17 reproduces Fig. 17: asymmetry by de-rating the bandwidth of
+// two leaf-to-spine links.
+func Fig17(o Options) ([]Figure, error) {
+	xs := trim(o, []float64{20, 15, 10, 5}) // Mbps on the slow links
+	return testbedSweep(o, "fig17", "bandwidth of 2 links (Mbps)", xs,
+		func(x float64) testbedEnv {
+			env := newTestbedEnv(100, 4)
+			slow := env.topo.FabricLink
+			slow.Bandwidth = units.Bandwidth(x) * units.Mbps
+			env.topo.Overrides = []topology.LinkOverride{
+				{Leaf: 0, Spine: 2, Link: slow},
+				{Leaf: 0, Spine: 7, Link: slow},
+			}
+			return env
+		}, nil)
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tlb/internal/core"
+	"tlb/internal/eventsim"
+	"tlb/internal/lb"
+	"tlb/internal/netem"
+	"tlb/internal/sim"
+	"tlb/internal/topology"
+	"tlb/internal/transport"
+	"tlb/internal/units"
+	"tlb/internal/workload"
+)
+
+// AblationTransport re-runs the load-0.7 web-search comparison under
+// four transport variants: the paper's DCTCP, plain TCP NewReno
+// (drop-tail, no ECN), DCTCP+SACK and DCTCP+delayed ACKs. It answers
+// two questions the paper leaves open: how much of each scheme's
+// standing depends on DCTCP keeping queues shallow, and whether
+// SACK (which forgives reordering) erodes TLB's advantage over
+// packet-spraying schemes.
+func AblationTransport(o Options) ([]Figure, error) {
+	afct := Figure{ID: "ablation-transport-afct", Title: "Transport variants (short AFCT)",
+		XLabel: "variant", YLabel: "AFCT (s): bars labeled scheme/variant"}
+	tput := Figure{ID: "ablation-transport-tput", Title: "Transport variants (long goodput)",
+		XLabel: "variant", YLabel: "Gbps"}
+
+	variants := []struct {
+		name string
+		mut  func(*transport.Config, *topology.Config)
+	}{
+		{"dctcp", func(*transport.Config, *topology.Config) {}},
+		{"newreno", func(tc *transport.Config, topo *topology.Config) {
+			tc.DCTCP = false
+			topo.Queue.ECNThreshold = 0 // drop-tail only
+		}},
+		{"dctcp+sack", func(tc *transport.Config, _ *topology.Config) { tc.SACK = true }},
+		{"dctcp+delack", func(tc *transport.Config, _ *topology.Config) { tc.DelayedAck = true }},
+	}
+	schemes := []Scheme{
+		{Name: "ecmp", Factory: lb.ECMP()},
+		{Name: "rps", Factory: lb.RPS()},
+		{Name: "letflow", Factory: lb.LetFlow(150 * units.Microsecond)},
+	}
+
+	for _, v := range variants {
+		env := newLargeEnv(websearchSizes(), o.FlowsPerRun)
+		tcfg := transport.DefaultConfig()
+		v.mut(&tcfg, &env.topo)
+		env.transport = tcfg
+		all := append(append([]Scheme{}, schemes...),
+			Scheme{Name: "tlb", Factory: tlbFactory(env.tlbConfig(0))})
+		for _, s := range all {
+			o.logf("ablation-transport: %s under %s", s.Name, v.name)
+			res, err := env.run(s.Name+"-"+v.name, s.Factory, ablationLoad, o.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("ablation-transport %s/%s: %w", s.Name, v.name, err)
+			}
+			label := s.Name + "/" + v.name
+			afct.Bars = append(afct.Bars, Bar{label, res.AFCT(sim.ShortFlows).Seconds()})
+			tput.Bars = append(tput.Bars, Bar{label, float64(res.Goodput(sim.LongFlows)) / 1e9})
+		}
+	}
+	return []Figure{afct, tput}, nil
+}
+
+// FatTreeComparison runs the headline schemes on a k=4 fat-tree with
+// inter-pod traffic — the multi-rooted-tree generalization the paper's
+// introduction motivates but its evaluation (leaf-spine only) never
+// exercises. Two chained balancing decisions per packet (edge and
+// aggregation tiers).
+func FatTreeComparison(o Options) ([]Figure, error) {
+	afct := Figure{ID: "fattree-afct", Title: "k=4 fat-tree, inter-pod mix (short AFCT)",
+		YLabel: "AFCT (s)"}
+	tput := Figure{ID: "fattree-tput", Title: "k=4 fat-tree, inter-pod mix (long goodput)",
+		YLabel: "Gbps"}
+
+	ftCfg := topology.FatTreeConfig{
+		K:          4,
+		HostLink:   netem.LinkConfig{Bandwidth: units.Gbps, Delay: 5 * units.Microsecond},
+		FabricLink: netem.LinkConfig{Bandwidth: units.Gbps, Delay: 10 * units.Microsecond},
+		Queue:      netem.QueueConfig{Capacity: 256, ECNThreshold: 65},
+	}
+	flows := fatTreeFlows(o, ftCfg)
+
+	tlbCfg := tlbFatTreeConfig(ftCfg)
+	schemes := append(baselines(150*units.Microsecond), Scheme{Name: "tlb", Factory: tlbFactory(tlbCfg)})
+	for _, s := range schemes {
+		o.logf("fattree: %s", s.Name)
+		res, err := sim.Run(sim.Scenario{
+			Name:       "fattree-" + s.Name,
+			Transport:  transport.DefaultConfig(),
+			Balancer:   s.Factory,
+			SchemeName: s.Name,
+			Seed:       o.Seed,
+			Flows:      flows,
+			BuildNetwork: func(sm *eventsim.Sim, f lb.Factory, r *eventsim.RNG, deliver topology.DeliverFunc) (topology.Network, error) {
+				return topology.NewFatTree(sm, ftCfg, f, r, deliver)
+			},
+			StopWhenDone: true,
+			MaxTime:      60 * units.Second,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fattree %s: %w", s.Name, err)
+		}
+		afct.Bars = append(afct.Bars, Bar{s.Name, res.AFCT(sim.ShortFlows).Seconds()})
+		tput.Bars = append(tput.Bars, Bar{s.Name, float64(res.Goodput(sim.LongFlows)) / 1e9})
+	}
+	return []Figure{afct, tput}, nil
+}
+
+// tlbFatTreeConfig adapts TLB to the 3-tier fabric.
+func tlbFatTreeConfig(ft topology.FatTreeConfig) core.Config {
+	c := core.DefaultConfig()
+	c.LinkBandwidth = ft.FabricLink.Bandwidth
+	// 3-tier round trip: 2 host links + 4 fabric links each way.
+	c.RTT = 2 * (2*ft.HostLink.Delay + 4*ft.FabricLink.Delay)
+	c.MaxQTh = ft.Queue.Capacity
+	c.MeanShortSize = 30 * units.KB
+	return c
+}
+
+// fatTreeFlows builds an inter-pod web-search-style workload.
+func fatTreeFlows(o Options, ft topology.FatTreeConfig) []workload.Flow {
+	rng := newRNG(o.Seed + 1)
+	sizes := websearchSizes()
+	n := o.FlowsPerRun / 2
+	if n < 60 {
+		n = 60
+	}
+	hosts := ft.Hosts()
+	perPod := hosts / ft.K
+	var flows []workload.Flow
+	at := units.Time(0)
+	for i := 0; i < n; i++ {
+		at += units.Time(rng.Intn(int(200 * units.Microsecond)))
+		src := rng.Intn(hosts)
+		dst := rng.Intn(hosts)
+		for dst/perPod == src/perPod {
+			dst = rng.Intn(hosts)
+		}
+		size := sizes.Sample(rng)
+		f := workload.Flow{Src: src, Dst: dst, Size: size, Start: at}
+		if size <= 100*units.KB {
+			f.Deadline = at + 5*units.Millisecond + units.Time(rng.Intn(int(20*units.Millisecond)))
+		}
+		flows = append(flows, f)
+	}
+	return flows
+}

@@ -1,0 +1,284 @@
+// Package lb defines the load-balancer interface that switches consult
+// when forwarding a packet onto one of several equal-cost uplinks, and
+// implements the baseline schemes the paper compares against: ECMP,
+// RPS, Presto, LetFlow and DRILL, plus the plain flow/flowlet/packet
+// granularity switchers used in the paper's §2 motivation study.
+//
+// The TLB scheme itself — the paper's contribution — lives in
+// internal/core and implements the same Balancer interface.
+package lb
+
+import (
+	"tlb/internal/eventsim"
+	"tlb/internal/netem"
+	"tlb/internal/units"
+)
+
+// Balancer picks an uplink for each packet at one switch. A Balancer
+// instance is per-switch: it owns whatever per-flow state its scheme
+// needs and sees every packet that switch forwards upward.
+type Balancer interface {
+	// Name identifies the scheme, e.g. "ecmp" or "tlb".
+	Name() string
+	// Pick returns the index of the uplink the packet should take.
+	// ports is the fixed slice of candidate uplinks passed at
+	// construction (also given here for convenience and so stateless
+	// schemes need not retain it).
+	Pick(pkt *netem.Packet, ports []*netem.Port) int
+}
+
+// Factory constructs a per-switch Balancer. sim provides the clock and
+// timers (schemes with periodic work, like TLB, hook in here), rng is a
+// private deterministic stream, and ports are the switch's uplinks.
+type Factory func(sim *eventsim.Sim, rng *eventsim.RNG, ports []*netem.Port) Balancer
+
+// ShortestQueue returns the index of the port with the fewest queued
+// packets, breaking ties uniformly at random so that simultaneous
+// arrivals do not herd onto one queue. It is the primitive behind
+// packet-level spraying in DRILL and TLB.
+func ShortestQueue(rng *eventsim.RNG, ports []*netem.Port) int {
+	best := 0
+	bestLen := ports[0].QueueLen()
+	ties := 1
+	for i := 1; i < len(ports); i++ {
+		l := ports[i].QueueLen()
+		switch {
+		case l < bestLen:
+			best, bestLen, ties = i, l, 1
+		case l == bestLen:
+			// Reservoir-sample among ties for a uniform choice.
+			ties++
+			if rng.Intn(ties) == 0 {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+// LowestDelay returns the index of the port whose estimated delivery
+// delay (backlog serialization + propagation) is smallest, breaking
+// ties uniformly at random. On a symmetric fabric it coincides with
+// ShortestQueue; on an asymmetric one it avoids slow or long paths
+// that a packet-count comparison cannot see.
+func LowestDelay(rng *eventsim.RNG, ports []*netem.Port) int {
+	best := 0
+	bestCost := ports[0].EstimatedDelay()
+	ties := 1
+	for i := 1; i < len(ports); i++ {
+		c := ports[i].EstimatedDelay()
+		switch {
+		case c < bestCost:
+			best, bestCost, ties = i, c, 1
+		case c == bestCost:
+			ties++
+			if rng.Intn(ties) == 0 {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+// ECMP returns a factory for Equal-Cost Multi-Path: a static hash of
+// the flow identity selects the uplink, so a flow never moves. This is
+// also the paper's "flow-level granularity" scheme.
+func ECMP() Factory {
+	return func(_ *eventsim.Sim, rng *eventsim.RNG, _ []*netem.Port) Balancer {
+		return &ecmp{seed: rng.Uint64()}
+	}
+}
+
+type ecmp struct {
+	seed uint64
+}
+
+func (e *ecmp) Name() string { return "ecmp" }
+
+func (e *ecmp) Pick(pkt *netem.Packet, ports []*netem.Port) int {
+	return int(pkt.Flow.Hash(e.seed) % uint64(len(ports)))
+}
+
+// RPS returns a factory for Random Packet Spraying: every packet takes
+// a uniformly random uplink. This is the paper's "packet-level
+// granularity" scheme.
+func RPS() Factory {
+	return func(_ *eventsim.Sim, rng *eventsim.RNG, _ []*netem.Port) Balancer {
+		return &rps{rng: rng}
+	}
+}
+
+type rps struct {
+	rng *eventsim.RNG
+}
+
+func (r *rps) Name() string { return "rps" }
+
+func (r *rps) Pick(_ *netem.Packet, ports []*netem.Port) int {
+	return r.rng.Intn(len(ports))
+}
+
+// PrestoCell is the fixed flowcell size Presto uses (64 KB).
+const PrestoCell = 64 * units.KiB
+
+// Presto returns a factory for Presto-style load balancing: each flow
+// is chopped into fixed-size flowcells and consecutive cells take
+// consecutive uplinks (round-robin from a random start), oblivious to
+// congestion.
+func Presto(cell units.Bytes) Factory {
+	if cell <= 0 {
+		cell = PrestoCell
+	}
+	return func(_ *eventsim.Sim, rng *eventsim.RNG, _ []*netem.Port) Balancer {
+		return &presto{cell: cell, rng: rng, flows: make(map[netem.FlowID]*prestoFlow)}
+	}
+}
+
+type presto struct {
+	cell  units.Bytes
+	rng   *eventsim.RNG
+	flows map[netem.FlowID]*prestoFlow
+}
+
+type prestoFlow struct {
+	port   int
+	inCell units.Bytes
+}
+
+func (p *presto) Name() string { return "presto" }
+
+func (p *presto) Pick(pkt *netem.Packet, ports []*netem.Port) int {
+	f, ok := p.flows[pkt.Flow]
+	if !ok {
+		f = &prestoFlow{port: p.rng.Intn(len(ports))}
+		p.flows[pkt.Flow] = f
+	}
+	if f.inCell >= p.cell {
+		f.inCell = 0
+		f.port = (f.port + 1) % len(ports)
+	}
+	f.inCell += pkt.Wire
+	if pkt.FIN {
+		delete(p.flows, pkt.Flow)
+	}
+	return f.port
+}
+
+// LetFlowGap is the default flowlet inactivity timeout (150 µs, the
+// value the paper uses in its motivation study).
+const LetFlowGap = 150 * units.Microsecond
+
+// LetFlow returns a factory for LetFlow: when the gap since a flow's
+// previous packet exceeds the flowlet timeout, the flow(let) is
+// re-routed to a uniformly random uplink; otherwise it sticks. This is
+// also the paper's "flowlet-level granularity" scheme.
+func LetFlow(gap units.Time) Factory {
+	if gap <= 0 {
+		gap = LetFlowGap
+	}
+	return func(sim *eventsim.Sim, rng *eventsim.RNG, _ []*netem.Port) Balancer {
+		return &letflow{sim: sim, gap: gap, rng: rng, flows: make(map[netem.FlowID]*letflowFlow)}
+	}
+}
+
+type letflow struct {
+	sim   *eventsim.Sim
+	gap   units.Time
+	rng   *eventsim.RNG
+	flows map[netem.FlowID]*letflowFlow
+}
+
+type letflowFlow struct {
+	port     int
+	lastSeen units.Time
+}
+
+func (l *letflow) Name() string { return "letflow" }
+
+func (l *letflow) Pick(pkt *netem.Packet, ports []*netem.Port) int {
+	now := l.sim.Now()
+	f, ok := l.flows[pkt.Flow]
+	if !ok {
+		f = &letflowFlow{port: l.rng.Intn(len(ports))}
+		l.flows[pkt.Flow] = f
+	} else if now-f.lastSeen > l.gap {
+		f.port = l.rng.Intn(len(ports))
+	}
+	f.lastSeen = now
+	if pkt.FIN {
+		delete(l.flows, pkt.Flow)
+		return f.port
+	}
+	return f.port
+}
+
+// DRILL returns a factory for DRILL(d, m): per packet, sample d random
+// queues plus the m remembered least-loaded queues from the previous
+// decision, and pick the shortest. DRILL(2, 1) is the configuration the
+// DRILL paper recommends.
+func DRILL(d, m int) Factory {
+	if d <= 0 {
+		d = 2
+	}
+	if m < 0 {
+		m = 1
+	}
+	return func(_ *eventsim.Sim, rng *eventsim.RNG, _ []*netem.Port) Balancer {
+		return &drill{d: d, m: m, rng: rng}
+	}
+}
+
+type drill struct {
+	d, m   int
+	rng    *eventsim.RNG
+	memory []int
+}
+
+func (d *drill) Name() string { return "drill" }
+
+func (d *drill) Pick(_ *netem.Packet, ports []*netem.Port) int {
+	best := -1
+	bestLen := 0
+	consider := func(i int) {
+		l := ports[i].QueueLen()
+		if best < 0 || l < bestLen {
+			best, bestLen = i, l
+		}
+	}
+	for i := 0; i < d.d; i++ {
+		consider(d.rng.Intn(len(ports)))
+	}
+	for _, i := range d.memory {
+		if i < len(ports) {
+			consider(i)
+		}
+	}
+	if d.m > 0 {
+		if len(d.memory) < d.m {
+			d.memory = append(d.memory, best)
+		} else {
+			copy(d.memory, d.memory[1:])
+			d.memory[len(d.memory)-1] = best
+		}
+	}
+	return best
+}
+
+// PacketShortestQueue returns a factory that sends every packet to the
+// instantaneous shortest queue — the idealised packet-level policy TLB
+// applies to short flows, exposed standalone for ablations.
+func PacketShortestQueue() Factory {
+	return func(_ *eventsim.Sim, rng *eventsim.RNG, _ []*netem.Port) Balancer {
+		return &psq{rng: rng}
+	}
+}
+
+type psq struct {
+	rng *eventsim.RNG
+}
+
+func (p *psq) Name() string { return "packet-sq" }
+
+func (p *psq) Pick(_ *netem.Packet, ports []*netem.Port) int {
+	return ShortestQueue(p.rng, ports)
+}

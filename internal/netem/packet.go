@@ -1,0 +1,146 @@
+// Package netem models the data plane: packets, drop-tail FIFO queues
+// with ECN marking, and links with bandwidth serialization and
+// propagation delay, composed into switch output ports.
+//
+// The fidelity target is NS2-style packet-level simulation: every data
+// segment and ACK is an individual packet that is enqueued, serialized
+// at line rate, propagated, and delivered — so queue lengths, drops,
+// ECN marks and reordering emerge from the same mechanisms the paper's
+// evaluation measures.
+package netem
+
+import (
+	"fmt"
+
+	"tlb/internal/units"
+)
+
+// FlowID identifies a transport flow. Src and Dst are host indices;
+// Port disambiguates concurrent flows between the same pair. ACKs of a
+// flow carry the same FlowID as its data with Reverse set, so switches
+// can attribute every packet to a five-tuple.
+type FlowID struct {
+	Src, Dst int
+	Port     int
+}
+
+// Reversed returns the FlowID as seen from the opposite direction.
+func (f FlowID) Reversed() FlowID {
+	return FlowID{Src: f.Dst, Dst: f.Src, Port: f.Port}
+}
+
+func (f FlowID) String() string {
+	return fmt.Sprintf("%d->%d#%d", f.Src, f.Dst, f.Port)
+}
+
+// Hash returns a deterministic 64-bit hash of the flow identity mixed
+// with a per-switch seed — this is the "flow hash" ECMP uses. FNV-1a
+// over the three ints keeps it allocation-free.
+func (f FlowID) Hash(seed uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset) ^ seed
+	for _, v := range [3]uint64{uint64(f.Src), uint64(f.Dst), uint64(f.Port)} {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	return h
+}
+
+// Kind distinguishes the packet types the transport layer exchanges.
+type Kind uint8
+
+const (
+	// Data carries payload bytes [Seq, Seq+Payload).
+	Data Kind = iota
+	// Ack carries a cumulative acknowledgement in Ack.
+	Ack
+	// Syn opens a connection (client -> server).
+	Syn
+	// SynAck acknowledges a Syn (server -> client).
+	SynAck
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Data:
+		return "DATA"
+	case Ack:
+		return "ACK"
+	case Syn:
+		return "SYN"
+	case SynAck:
+		return "SYNACK"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Packet is one unit on the wire. Packets are passed by pointer through
+// the fabric and must not be mutated after being handed to a port,
+// except for the congestion-experienced bit which queues set.
+type Packet struct {
+	Flow FlowID
+	Kind Kind
+
+	// Seq is the first payload byte for Data packets.
+	Seq units.Bytes
+	// Payload is the number of payload bytes (0 for pure ACK/SYN).
+	Payload units.Bytes
+	// Wire is the total on-wire size including headers; serialization
+	// and queue occupancy are charged per packet but byte counters use
+	// Wire.
+	Wire units.Bytes
+
+	// Ack is the cumulative acknowledgement (next expected byte) on
+	// Ack/SynAck packets.
+	Ack units.Bytes
+	// SackBlocks carries up to 3 selective-acknowledgement ranges
+	// (start inclusive, end exclusive) when the transport has SACK
+	// enabled; SackCount says how many are valid.
+	SackBlocks [3]SackBlock
+	SackCount  uint8
+	// CE is the ECN congestion-experienced bit, set by a queue whose
+	// length exceeds its marking threshold.
+	CE bool
+	// ECNEcho on an ACK echoes the CE bit of the data packet it
+	// acknowledges (per-packet echo, as DCTCP requires).
+	ECNEcho bool
+	// FIN marks the last data packet of a flow, standing in for the TCP
+	// FIN the paper's switch uses to decrement its flow counters.
+	FIN bool
+
+	// SentAt is when the transport first handed the packet to the
+	// network; used for delay accounting.
+	SentAt units.Time
+	// EnqueuedAt is stamped by the queue on admission, for per-hop
+	// queueing-delay stats.
+	EnqueuedAt units.Time
+	// Retransmit marks retransmitted segments (excluded from
+	// reordering stats, since their displacement is intentional).
+	Retransmit bool
+
+	// QueueDelay accumulates time spent waiting in queues across all
+	// hops; ports add to it at dequeue. The receiver folds it into the
+	// per-flow queueing-delay statistics (paper Fig. 3a, Fig. 8b).
+	QueueDelay units.Time
+	// MaxQueueSeen is the largest queue length (in packets, excluding
+	// this packet) encountered on admission at any hop — the
+	// "queueing length experienced by each packet" of Fig. 3a.
+	MaxQueueSeen int
+}
+
+// SackBlock is one selectively-acknowledged byte range [Start, End).
+type SackBlock struct {
+	Start, End units.Bytes
+}
+
+// IsShortHeader reports whether the packet is a header-only packet
+// (ACK or handshake), which load balancers may treat differently.
+func (p *Packet) IsShortHeader() bool {
+	return p.Kind != Data
+}

@@ -1,0 +1,115 @@
+package netem
+
+import (
+	"tlb/internal/eventsim"
+	"tlb/internal/units"
+)
+
+// Handler consumes packets delivered by the network.
+type Handler func(*Packet)
+
+// LinkConfig describes one directed link.
+type LinkConfig struct {
+	Bandwidth units.Bandwidth
+	Delay     units.Time // one-way propagation delay
+}
+
+// Port is a switch (or host NIC) output: a FIFO queue drained by a
+// directed link. Because the queue is FIFO and the link delay fixed,
+// every packet's service start, service end and delivery time are known
+// the moment it is admitted; the port therefore schedules exactly one
+// simulator event per packet (its delivery) and the queue evaluates its
+// own occupancy lazily from the precomputed service times.
+type Port struct {
+	sim  *eventsim.Sim
+	link LinkConfig
+	q    *Queue
+	dst  Handler
+
+	// lastFinish is when the most recently admitted packet finishes
+	// serializing; the next packet starts at max(now, lastFinish).
+	lastFinish units.Time
+	// busyNs accumulates serialization time for utilization accounting.
+	busyNs units.Time
+	// deliverFn is the single pre-bound delivery callback reused for
+	// every packet (deliveries fire in FIFO order, so it always pops
+	// the head).
+	deliverFn func()
+	// label is a human-readable identity for traces and tests.
+	label string
+}
+
+// NewPort wires a queue to a link ending at dst.
+func NewPort(sim *eventsim.Sim, link LinkConfig, qcfg QueueConfig, dst Handler, label string) *Port {
+	if link.Bandwidth <= 0 {
+		panic("netem: port with non-positive bandwidth")
+	}
+	p := &Port{sim: sim, link: link, q: NewQueue(qcfg), dst: dst, label: label}
+	p.deliverFn = p.deliver
+	return p
+}
+
+// Queue exposes the port's queue (read-mostly: load balancers consult
+// Len; tests consult Stats).
+func (p *Port) Queue() *Queue { return p.q }
+
+// QueueLen is the current backlog in packets, the signal every
+// queue-length-based load balancer in this repo consults.
+func (p *Port) QueueLen() int { return p.q.Len(p.sim.Now()) }
+
+// Link returns the link configuration.
+func (p *Port) Link() LinkConfig { return p.link }
+
+// Label returns the port's diagnostic name.
+func (p *Port) Label() string { return p.label }
+
+// BusyTime returns the cumulative serialization time, from which
+// utilization over an interval is computed.
+func (p *Port) BusyTime() units.Time { return p.busyNs }
+
+// refWire is the reference packet size EstimatedDelay charges for the
+// packet being placed: a full-size frame. Without this term an *empty*
+// slow port looks as cheap as an empty fast one — the asymmetry only
+// shows once the packet itself serializes.
+const refWire units.Bytes = 1500
+
+// EstimatedDelay returns the time a full-size packet enqueued now would
+// take to reach the far end: the backlog's serialization time, its own
+// serialization time, and the link's propagation delay. Unlike the raw
+// queue length, this is comparable across ports of different speeds and
+// delays, which is what a load balancer needs on an asymmetric fabric.
+// (All inputs — port rate and configured link delay — are local switch
+// knowledge.) Across equal-speed ports the own-packet term is a shared
+// constant, so orderings there match the queue-length comparison.
+func (p *Port) EstimatedDelay() units.Time {
+	d := p.link.Delay + p.link.Bandwidth.TxTime(refWire)
+	if backlog := p.q.Bytes(p.sim.Now()); backlog > 0 {
+		d += p.link.Bandwidth.TxTime(backlog)
+	}
+	return d
+}
+
+// Send enqueues the packet for transmission. It reports false when the
+// packet was dropped at the queue.
+func (p *Port) Send(pkt *Packet) bool {
+	now := p.sim.Now()
+	start := now
+	if p.lastFinish > start {
+		start = p.lastFinish
+	}
+	if !p.q.admit(pkt, now, start) {
+		return false
+	}
+	tx := p.link.Bandwidth.TxTime(pkt.Wire)
+	finish := start + tx
+	p.lastFinish = finish
+	p.busyNs += tx
+	p.sim.At(finish+p.link.Delay, p.deliverFn)
+	return true
+}
+
+// deliver fires when the head packet has finished propagating.
+func (p *Port) deliver() {
+	pkt := p.q.popDelivered()
+	p.dst(pkt)
+}

@@ -1,0 +1,500 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tlb/internal/core"
+	"tlb/internal/eventsim"
+	"tlb/internal/lb"
+	"tlb/internal/netem"
+	"tlb/internal/topology"
+	"tlb/internal/trace"
+	"tlb/internal/transport"
+	"tlb/internal/units"
+	"tlb/internal/workload"
+)
+
+// TestFabricConservation: every payload byte injected is either
+// acknowledged or the run saw drops; with no drops, acked == size for
+// every flow, across random workloads and schemes.
+func TestFabricConservationProperty(t *testing.T) {
+	schemes := []lb.Factory{lb.ECMP(), lb.RPS(), lb.LetFlow(0), lb.Presto(0)}
+	f := func(seed uint64, schemeIdx uint8, n uint8) bool {
+		topo := smallTopo()
+		rngFlows := []workload.Flow{}
+		count := int(n%20) + 3
+		s := int(seed % 100000)
+		for i := 0; i < count; i++ {
+			rngFlows = append(rngFlows, workload.Flow{
+				Src: i % 4, Dst: 4 + (i+s)%4,
+				Size:  units.Bytes(1000 + (s+i*7919)%200000),
+				Start: units.Time(i) * 37 * units.Microsecond,
+			})
+		}
+		res, err := Run(Scenario{
+			Name:     "conservation-prop",
+			Topology: topo, Transport: transport.DefaultConfig(),
+			Balancer:   schemes[int(schemeIdx)%len(schemes)],
+			SchemeName: "prop", Seed: seed,
+			Flows: rngFlows, StopWhenDone: true, MaxTime: 30 * units.Second,
+		})
+		if err != nil {
+			return false
+		}
+		for _, fs := range res.Flows {
+			if !fs.Done {
+				return false // all must finish within 30s at this scale
+			}
+			if fs.BytesAcked != fs.Size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAsymmetricFabricEndToEnd drives traffic over a fabric with one
+// degraded link and checks delivery still works plus the override is
+// effective (flows crossing the slow link take visibly longer).
+func TestAsymmetricFabricEndToEnd(t *testing.T) {
+	topo := smallTopo()
+	topo.Spines = 2
+	slow := topo.FabricLink
+	slow.Delay += 2 * units.Millisecond
+	topo.Overrides = []topology.LinkOverride{{Leaf: 0, Spine: 1, Link: slow}}
+
+	res, err := Run(Scenario{
+		Name: "asym", Topology: topo, Transport: transport.DefaultConfig(),
+		// ECMP hashes flows onto both spines, so some cross the slow link.
+		Balancer: lb.ECMP(), SchemeName: "ecmp", Seed: 21,
+		Flows: []workload.Flow{
+			{Src: 0, Dst: 4, Size: 30 * units.KB, Start: 0},
+			{Src: 1, Dst: 5, Size: 30 * units.KB, Start: 0},
+			{Src: 2, Dst: 6, Size: 30 * units.KB, Start: 0},
+			{Src: 3, Dst: 7, Size: 30 * units.KB, Start: 0},
+		},
+		StopWhenDone: true, MaxTime: 10 * units.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fast, slowCount int
+	for _, fs := range res.Flows {
+		if !fs.Done {
+			t.Fatalf("flow %v unfinished", fs.ID)
+		}
+		if fs.FCT() > 4*units.Millisecond {
+			slowCount++ // several RTTs over the +2ms link
+		} else {
+			fast++
+		}
+	}
+	if fast == 0 || slowCount == 0 {
+		t.Fatalf("expected a mix of fast and slow flows, got %d fast / %d slow", fast, slowCount)
+	}
+}
+
+// TestTLBAvoidsDegradedLink: under TLB the same scenario should route
+// everything around the slow path (queues empty, delay visible).
+func TestTLBAvoidsDegradedLink(t *testing.T) {
+	topo := smallTopo()
+	slow := topo.FabricLink
+	slow.Delay += 2 * units.Millisecond
+	topo.Overrides = []topology.LinkOverride{{Leaf: 0, Spine: 3, Link: slow}}
+
+	cfg := core.DefaultConfig()
+	cfg.LinkBandwidth = topo.FabricLink.Bandwidth
+	cfg.RTT = topo.BaseRTT()
+	cfg.MaxQTh = topo.Queue.Capacity
+
+	flows := []workload.Flow{}
+	for i := 0; i < 12; i++ {
+		flows = append(flows, workload.Flow{
+			Src: i % 4, Dst: 4 + i%4, Size: 50 * units.KB,
+			Start: units.Time(i) * 100 * units.Microsecond,
+		})
+	}
+	res, err := Run(Scenario{
+		Name: "tlb-asym", Topology: topo, Transport: transport.DefaultConfig(),
+		Balancer: core.Factory(cfg), SchemeName: "tlb", Seed: 33,
+		Flows: flows, StopWhenDone: true, MaxTime: 10 * units.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletedCount(AllFlows) != len(flows) {
+		t.Fatal("not all flows completed")
+	}
+	// The slow uplink (leaf0 -> spine3) should have carried almost
+	// nothing: with 3 healthy paths its 2ms handicap never wins.
+	for _, p := range res.Uplinks {
+		if p.Label == "leaf0->spine3" && p.Queue.Enqueued > int64(len(flows)) {
+			t.Fatalf("degraded uplink carried %d packets", p.Queue.Enqueued)
+		}
+	}
+}
+
+// TestSampledShortPackets verifies the Fig. 3 sampling path end to end.
+func TestSampledShortPackets(t *testing.T) {
+	res, err := Run(Scenario{
+		Name: "samples", Topology: smallTopo(), Transport: transport.DefaultConfig(),
+		Balancer: lb.RPS(), SchemeName: "rps", Seed: 4,
+		Flows: []workload.Flow{
+			{Src: 0, Dst: 4, Size: 30 * units.KB, Start: 0},
+			{Src: 1, Dst: 5, Size: 2 * units.MB, Start: 0}, // long: must not be sampled
+		},
+		SampleShortPackets: true,
+		StopWhenDone:       true, MaxTime: 10 * units.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ShortSamples) == 0 {
+		t.Fatal("no short-packet samples collected")
+	}
+	// ~21 data packets for 30KB (plus none from the 2MB flow).
+	if len(res.ShortSamples) > 40 {
+		t.Fatalf("%d samples — long flow leaked into short sampling", len(res.ShortSamples))
+	}
+	for _, ps := range res.ShortSamples {
+		if ps.Flow.Src != 0 {
+			t.Fatalf("sample from flow %v", ps.Flow)
+		}
+		if ps.OneWay <= 0 {
+			t.Fatal("non-positive one-way delay sample")
+		}
+	}
+}
+
+// TestTimeSeriesCollection verifies the Fig. 8/9 series path.
+func TestTimeSeriesCollection(t *testing.T) {
+	flows := []workload.Flow{
+		{Src: 0, Dst: 4, Size: 80 * units.KB, Start: 0},
+		{Src: 1, Dst: 5, Size: units.MB, Start: 0},
+	}
+	res, err := Run(Scenario{
+		Name: "series", Topology: smallTopo(), Transport: transport.DefaultConfig(),
+		Balancer: lb.ECMP(), SchemeName: "ecmp", Seed: 6,
+		Flows:             flows,
+		CollectTimeSeries: true,
+		TimeBucket:        500 * units.Microsecond,
+		StopWhenDone:      true, MaxTime: 10 * units.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts := res.ShortQueueDelayUs.Means(); len(pts) == 0 {
+		t.Fatal("no short queue-delay series")
+	}
+	long := res.LongGoodputBytes.Sums()
+	var total float64
+	for _, p := range long {
+		total += p.Y
+	}
+	if total != float64(units.MB) {
+		t.Fatalf("long goodput series sums to %.0f bytes, want %d", total, units.MB)
+	}
+	short := res.ShortGoodputBytes.Sums()
+	total = 0
+	for _, p := range short {
+		total += p.Y
+	}
+	if total != float64(80*units.KB) {
+		t.Fatalf("short goodput series sums to %.0f bytes, want %d", total, 80*units.KB)
+	}
+}
+
+// TestBufferPressureCausesDropsAndRecovery injects a burst far beyond
+// buffer capacity and checks the fabric drops, TCP retransmits, and
+// every flow still completes — the failure-injection path.
+func TestBufferPressureCausesDropsAndRecovery(t *testing.T) {
+	topo := smallTopo()
+	topo.Spines = 1                              // single path: no balancing escape
+	topo.Queue = netem.QueueConfig{Capacity: 16} // tiny buffers, no ECN
+	flows := []workload.Flow{}
+	for i := 0; i < 8; i++ {
+		flows = append(flows, workload.Flow{
+			Src: i % 4, Dst: 4 + i%4, Size: 300 * units.KB, Start: 0,
+		})
+	}
+	res, err := Run(Scenario{
+		Name: "pressure", Topology: topo, Transport: transport.DefaultConfig(),
+		Balancer: lb.ECMP(), SchemeName: "ecmp", Seed: 8,
+		Flows: flows, StopWhenDone: true, MaxTime: 30 * units.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Drops == 0 {
+		t.Fatal("expected drops under 8x oversubscription into 16-packet buffers")
+	}
+	if res.TotalRetransmits(AllFlows) == 0 {
+		t.Fatal("drops but no retransmissions")
+	}
+	if got := res.CompletedCount(AllFlows); got != len(flows) {
+		t.Fatalf("only %d of %d flows completed despite retransmission", got, len(flows))
+	}
+	for _, fs := range res.Flows {
+		if fs.BytesAcked != fs.Size {
+			t.Fatalf("flow %v acked %d of %d", fs.ID, fs.BytesAcked, fs.Size)
+		}
+	}
+}
+
+// TestResultClassAccessors pins the Result reduction helpers.
+func TestResultClassAccessors(t *testing.T) {
+	res, err := Run(Scenario{
+		Name: "classes", Topology: smallTopo(), Transport: transport.DefaultConfig(),
+		Balancer: lb.ECMP(), SchemeName: "ecmp", Seed: 10,
+		Flows: []workload.Flow{
+			{Src: 0, Dst: 4, Size: 10 * units.KB, Start: 0, Deadline: 50 * units.Millisecond},
+			{Src: 1, Dst: 5, Size: 20 * units.KB, Start: 0, Deadline: units.Microsecond}, // impossible
+			{Src: 2, Dst: 6, Size: 5 * units.MB, Start: 0},
+		},
+		StopWhenDone: true, MaxTime: 30 * units.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count(ShortFlows) != 2 || res.Count(LongFlows) != 1 || res.Count(AllFlows) != 3 {
+		t.Fatalf("class counts: %d/%d/%d", res.Count(ShortFlows), res.Count(LongFlows), res.Count(AllFlows))
+	}
+	if miss := res.DeadlineMissRatio(ShortFlows); miss != 0.5 {
+		t.Fatalf("miss ratio %v, want 0.5 (one impossible deadline of two)", miss)
+	}
+	if res.AFCT(ShortFlows) <= 0 || res.AFCT(LongFlows) <= 0 {
+		t.Fatal("zero AFCT")
+	}
+	if res.FCTPercentile(ShortFlows, 99) < res.FCTPercentile(ShortFlows, 1) {
+		t.Fatal("percentiles not monotone")
+	}
+	if res.UplinkUtilization() <= 0 {
+		t.Fatal("zero uplink utilization")
+	}
+	if res.Goodput(AllFlows) <= 0 || res.AggregateGoodput(AllFlows) <= 0 {
+		t.Fatal("zero goodput")
+	}
+}
+
+// TestFatTreeEndToEnd runs a full workload over the 3-tier substrate
+// via Scenario.BuildNetwork: both decision tiers (edge and agg) are
+// exercised for every scheme, including TLB.
+func TestFatTreeEndToEnd(t *testing.T) {
+	ftCfg := topology.FatTreeConfig{
+		K:          4,
+		HostLink:   netem.LinkConfig{Bandwidth: units.Gbps, Delay: 5 * units.Microsecond},
+		FabricLink: netem.LinkConfig{Bandwidth: units.Gbps, Delay: 10 * units.Microsecond},
+		Queue:      netem.QueueConfig{Capacity: 256, ECNThreshold: 65},
+	}
+	tlbCfg := core.DefaultConfig()
+	tlbCfg.RTT = 100 * units.Microsecond
+	schemes := []struct {
+		name string
+		f    lb.Factory
+	}{
+		{"ecmp", lb.ECMP()},
+		{"letflow", lb.LetFlow(0)},
+		{"tlb", core.Factory(tlbCfg)},
+	}
+	for _, s := range schemes {
+		s := s
+		t.Run(s.name, func(t *testing.T) {
+			flows := []workload.Flow{}
+			for i := 0; i < 24; i++ {
+				// Inter-pod pairs: pod i%4 -> pod (i+1)%4.
+				flows = append(flows, workload.Flow{
+					Src: (i % 4) * 4, Dst: ((i+1)%4)*4 + i%4,
+					Size:  units.Bytes(5000 + i*3000),
+					Start: units.Time(i) * 30 * units.Microsecond,
+				})
+			}
+			flows = append(flows, workload.Flow{Src: 1, Dst: 13, Size: units.MB, Start: 0})
+			res, err := Run(Scenario{
+				Name:       "fattree-" + s.name,
+				Transport:  transport.DefaultConfig(),
+				Balancer:   s.f,
+				SchemeName: s.name,
+				Seed:       17,
+				Flows:      flows,
+				BuildNetwork: func(sm *eventsim.Sim, f lb.Factory, rng *eventsim.RNG, deliver topology.DeliverFunc) (topology.Network, error) {
+					return topology.NewFatTree(sm, ftCfg, f, rng, deliver)
+				},
+				StopWhenDone: true,
+				MaxTime:      10 * units.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := res.CompletedCount(AllFlows), len(flows); got != want {
+				t.Fatalf("completed %d of %d", got, want)
+			}
+			// Both tiers' ports appear in the snapshots.
+			sawEdge, sawAgg := false, false
+			for _, p := range res.Uplinks {
+				if strings.HasPrefix(p.Label, "edge") {
+					sawEdge = true
+				}
+				if strings.HasPrefix(p.Label, "agg") {
+					sawAgg = true
+				}
+			}
+			if !sawEdge || !sawAgg {
+				t.Fatal("balanced-port snapshots missing a tier")
+			}
+		})
+	}
+}
+
+// TestRunAllSweep checks the concurrent sweep helper: same results as
+// serial runs, order preserved.
+func TestRunAllSweep(t *testing.T) {
+	mk := func(seed uint64) Scenario {
+		return Scenario{
+			Name: "sweep", Topology: smallTopo(), Transport: transport.DefaultConfig(),
+			Balancer: lb.ECMP(), SchemeName: "ecmp", Seed: seed,
+			Flows: []workload.Flow{
+				{Src: 0, Dst: 4, Size: 50 * units.KB, Start: 0},
+				{Src: 1, Dst: 5, Size: 80 * units.KB, Start: 0},
+			},
+			StopWhenDone: true, MaxTime: 10 * units.Second,
+		}
+	}
+	scenarios := []Scenario{mk(1), mk(2), mk(3), mk(4)}
+	parallel, err := RunAll(scenarios, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sc := range scenarios {
+		serial, err := Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parallel[i].EndTime != serial.EndTime {
+			t.Fatalf("scenario %d differs parallel vs serial", i)
+		}
+	}
+}
+
+// TestIncastScenario runs the partition/aggregate pattern end to end:
+// the destination host link is the bottleneck and all flows must
+// still complete.
+func TestIncastScenario(t *testing.T) {
+	inc := workload.IncastConfig{
+		Aggregator:    4, // on leaf 1
+		Workers:       []int{0, 1, 2, 3},
+		ResponseSize:  workload.Fixed{Size: 64 * units.KB},
+		Rounds:        5,
+		RoundInterval: 5 * units.Millisecond,
+	}
+	flows, err := inc.Generate(eventsim.NewRNG(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Scenario{
+		Name: "incast", Topology: smallTopo(), Transport: transport.DefaultConfig(),
+		Balancer: lb.RPS(), SchemeName: "rps", Seed: 3,
+		Flows: flows, StopWhenDone: true, MaxTime: 30 * units.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletedCount(AllFlows) != len(flows) {
+		t.Fatalf("completed %d of %d", res.CompletedCount(AllFlows), len(flows))
+	}
+}
+
+// TestTracerRecordsFlowLifecycle wires a tracer through a run.
+func TestTracerRecordsFlowLifecycle(t *testing.T) {
+	tr := trace.New(0)
+	_, err := Run(Scenario{
+		Name: "traced", Topology: smallTopo(), Transport: transport.DefaultConfig(),
+		Balancer: lb.ECMP(), SchemeName: "ecmp", Seed: 2,
+		Flows: []workload.Flow{
+			{Src: 0, Dst: 4, Size: 20 * units.KB, Start: 0},
+			{Src: 1, Dst: 5, Size: 30 * units.KB, Start: units.Millisecond},
+		},
+		Tracer:       tr,
+		StopWhenDone: true, MaxTime: 10 * units.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count(trace.FlowStart) != 2 || tr.Count(trace.FlowEnd) != 2 {
+		t.Fatalf("starts=%d ends=%d, want 2/2", tr.Count(trace.FlowStart), tr.Count(trace.FlowEnd))
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("%d events", len(evs))
+	}
+	// Starts precede ends per flow.
+	seenStart := map[netem.FlowID]bool{}
+	for _, e := range evs {
+		switch e.Kind {
+		case trace.FlowStart:
+			seenStart[e.Flow] = true
+		case trace.FlowEnd:
+			if !seenStart[e.Flow] {
+				t.Fatal("flow ended before starting")
+			}
+		}
+	}
+}
+
+// TestRepFlowReplication: replicated short flows finish at the minimum
+// of their copies, long flows are not replicated, and the run ends
+// despite losing copies still draining.
+func TestRepFlowReplication(t *testing.T) {
+	topo := smallTopo()
+	// One very slow path plus three normal ones: an ECMP copy hashed
+	// onto the slow path loses the race, the other copy wins.
+	slow := topo.FabricLink
+	slow.Delay += 5 * units.Millisecond
+	topo.Overrides = []topology.LinkOverride{{Leaf: 0, Spine: 1, Link: slow}}
+
+	flows := []workload.Flow{}
+	for i := 0; i < 16; i++ {
+		flows = append(flows, workload.Flow{
+			Src: i % 4, Dst: 4 + i%4, Size: 20 * units.KB,
+			Start: units.Time(i) * 50 * units.Microsecond,
+		})
+	}
+	flows = append(flows, workload.Flow{Src: 0, Dst: 5, Size: units.MB, Start: 0})
+
+	run := func(rep *ReplicationConfig) *Result {
+		res, err := Run(Scenario{
+			Name: "repflow", Topology: topo, Transport: transport.DefaultConfig(),
+			Balancer: lb.ECMP(), SchemeName: "ecmp", Seed: 12,
+			Flows: flows, Replication: rep,
+			StopWhenDone: true, MaxTime: 30 * units.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(nil)
+	repl := run(&ReplicationConfig{Threshold: 100 * units.KB, Copies: 2})
+
+	if got := repl.CompletedCount(AllFlows); got != len(flows) {
+		t.Fatalf("completed %d of %d", got, len(flows))
+	}
+	// Replication takes the min of two ECMP draws: short AFCT must not
+	// get worse, and with a 5ms trap on one of four paths it should be
+	// clearly better.
+	if repl.AFCT(ShortFlows) > plain.AFCT(ShortFlows) {
+		t.Fatalf("repflow AFCT %v worse than plain %v",
+			repl.AFCT(ShortFlows), plain.AFCT(ShortFlows))
+	}
+	for _, fs := range repl.Flows {
+		if fs.Size <= 100*units.KB {
+			if !fs.Done || fs.BytesAcked != fs.Size {
+				t.Fatalf("replicated flow %v incomplete", fs.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"tlb/internal/stats"
+	"tlb/internal/transport"
+	"tlb/internal/units"
+)
+
+// Class selects a flow subset for aggregation.
+type Class int
+
+// Flow classes.
+const (
+	AllFlows Class = iota
+	ShortFlows
+	LongFlows
+)
+
+func (r *Result) inClass(fs *transport.FlowStats, c Class) bool {
+	switch c {
+	case ShortFlows:
+		return fs.Size <= r.ShortThreshold
+	case LongFlows:
+		return fs.Size > r.ShortThreshold
+	default:
+		return true
+	}
+}
+
+// Each visits every flow record in the given class.
+func (r *Result) Each(c Class, fn func(*transport.FlowStats)) {
+	for _, fs := range r.Flows {
+		if r.inClass(fs, c) {
+			fn(fs)
+		}
+	}
+}
+
+// Count returns the number of flows in the class.
+func (r *Result) Count(c Class) int {
+	n := 0
+	r.Each(c, func(*transport.FlowStats) { n++ })
+	return n
+}
+
+// CompletedCount returns how many flows in the class finished.
+func (r *Result) CompletedCount(c Class) int {
+	n := 0
+	r.Each(c, func(fs *transport.FlowStats) {
+		if fs.Done {
+			n++
+		}
+	})
+	return n
+}
+
+// FCTSample collects the completion times (seconds) of finished flows
+// in the class.
+func (r *Result) FCTSample(c Class) *stats.Sample {
+	s := &stats.Sample{}
+	r.Each(c, func(fs *transport.FlowStats) {
+		if fs.Done {
+			s.Add(fs.FCT().Seconds())
+		}
+	})
+	return s
+}
+
+// AFCT returns the mean completion time of finished flows in the class.
+func (r *Result) AFCT(c Class) units.Time {
+	s := r.FCTSample(c)
+	return units.FromSeconds(s.Mean())
+}
+
+// FCTPercentile returns the p-th percentile FCT of finished flows.
+func (r *Result) FCTPercentile(c Class, p float64) units.Time {
+	return units.FromSeconds(r.FCTSample(c).Percentile(p))
+}
+
+// DeadlineMissRatio returns the fraction of deadline-carrying flows in
+// the class that missed (finished late or unfinished past the
+// deadline at run end).
+func (r *Result) DeadlineMissRatio(c Class) float64 {
+	total, missed := 0, 0
+	r.Each(c, func(fs *transport.FlowStats) {
+		if fs.Deadline == 0 {
+			return
+		}
+		total++
+		if fs.MissedDeadline(r.EndTime) {
+			missed++
+		}
+	})
+	if total == 0 {
+		return 0
+	}
+	return float64(missed) / float64(total)
+}
+
+// Goodput returns the class's aggregate goodput: acknowledged payload
+// bytes divided by each flow's active time, averaged per flow. This is
+// the "throughput of long flows" metric of Fig. 10d/11d.
+func (r *Result) Goodput(c Class) units.Bandwidth {
+	var sum float64
+	n := 0
+	r.Each(c, func(fs *transport.FlowStats) {
+		end := fs.End
+		if !fs.Done {
+			end = r.EndTime
+		}
+		dur := (end - fs.Start).Seconds()
+		if dur <= 0 || fs.BytesAcked <= 0 {
+			return
+		}
+		sum += float64(fs.BytesAcked) * 8 / dur
+		n++
+	})
+	if n == 0 {
+		return 0
+	}
+	return units.Bandwidth(sum / float64(n))
+}
+
+// AggregateGoodput returns total acknowledged bytes of the class over
+// the whole run duration, as a single rate.
+func (r *Result) AggregateGoodput(c Class) units.Bandwidth {
+	var bytes units.Bytes
+	r.Each(c, func(fs *transport.FlowStats) { bytes += fs.BytesAcked })
+	dur := r.EndTime.Seconds()
+	if dur <= 0 {
+		return 0
+	}
+	return units.Bandwidth(float64(bytes) * 8 / dur)
+}
+
+// UplinkUtilization returns mean busy fraction across all leaf uplinks
+// — the link-utilization metric of Fig. 4a.
+func (r *Result) UplinkUtilization() float64 {
+	if len(r.Uplinks) == 0 || r.EndTime <= 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range r.Uplinks {
+		sum += float64(p.BusyTime) / float64(r.EndTime)
+	}
+	return sum / float64(len(r.Uplinks))
+}
+
+// TotalRetransmits sums retransmissions in the class.
+func (r *Result) TotalRetransmits(c Class) int64 {
+	var n int64
+	r.Each(c, func(fs *transport.FlowStats) { n += fs.Retransmits })
+	return n
+}
+
+// TotalTimeouts sums RTO events in the class.
+func (r *Result) TotalTimeouts(c Class) int64 {
+	var n int64
+	r.Each(c, func(fs *transport.FlowStats) { n += fs.Timeouts })
+	return n
+}
+
+// OutOfOrderRatio returns out-of-order arrivals over received packets
+// for the class — Fig. 4b's reordering metric.
+func (r *Result) OutOfOrderRatio(c Class) float64 {
+	var ooo, recv int64
+	r.Each(c, func(fs *transport.FlowStats) {
+		ooo += fs.OutOfOrder
+		recv += fs.PacketsRecv
+	})
+	if recv == 0 {
+		return 0
+	}
+	return float64(ooo) / float64(recv)
+}
+
+// DupAckRatio returns duplicate ACKs over received data packets for
+// the class — Fig. 3b's metric.
+func (r *Result) DupAckRatio(c Class) float64 {
+	var dup, recv int64
+	r.Each(c, func(fs *transport.FlowStats) {
+		dup += fs.DupAcksSent
+		recv += fs.PacketsRecv
+	})
+	if recv == 0 {
+		return 0
+	}
+	return float64(dup) / float64(recv)
+}
+
+// MeanQueueDelay returns the mean per-packet queueing delay of the
+// class's received data packets.
+func (r *Result) MeanQueueDelay(c Class) units.Time {
+	var sum units.Time
+	var n int64
+	r.Each(c, func(fs *transport.FlowStats) {
+		sum += fs.SumQueueDelay
+		n += fs.DelaySamples
+	})
+	if n == 0 {
+		return 0
+	}
+	return sum / units.Time(n)
+}

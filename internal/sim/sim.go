@@ -1,0 +1,348 @@
+// Package sim is the experiment runner: it wires a topology, transport
+// endpoints, a load-balancing scheme and a workload into one
+// discrete-event simulation, runs it to a stop criterion, and returns
+// the measurements every figure of the paper is reduced from.
+package sim
+
+import (
+	"fmt"
+
+	"tlb/internal/eventsim"
+	"tlb/internal/lb"
+	"tlb/internal/netem"
+	"tlb/internal/stats"
+	"tlb/internal/topology"
+	"tlb/internal/trace"
+	"tlb/internal/transport"
+	"tlb/internal/units"
+	"tlb/internal/workload"
+)
+
+// Scenario fully describes one simulation run.
+type Scenario struct {
+	Name      string
+	Topology  topology.Config
+	Transport transport.Config
+	// Balancer instantiates the scheme under test at each leaf.
+	Balancer lb.Factory
+	// SchemeName labels results (balancers are per-switch instances,
+	// so the factory itself carries no name).
+	SchemeName string
+	Seed       uint64
+
+	// Flows is the workload, absolute-timed.
+	Flows []workload.Flow
+
+	// MaxTime hard-stops the run; 0 means run until all flows finish.
+	MaxTime units.Time
+	// StopWhenDone ends the run as soon as every flow completed
+	// (default behaviour; set MaxTime too as a safety net).
+	StopWhenDone bool
+
+	// ShortThreshold classifies flows for result aggregation (100 KB,
+	// same as TLB's classifier).
+	ShortThreshold units.Bytes
+
+	// SampleShortPackets retains one PacketSample per short-flow data
+	// packet (Fig. 3a/8 CDFs) — memory-heavy, off by default.
+	SampleShortPackets bool
+	// CollectTimeSeries enables the bucketed instantaneous series
+	// (Fig. 8/9).
+	CollectTimeSeries bool
+	// TimeBucket is the series bucket width (default 1 ms).
+	TimeBucket units.Time
+
+	// Replication, when non-nil, enables RepFlow-style short-flow
+	// replication (Xu & Li, 2014 — discussed in the paper's §8): each
+	// flow at or below the threshold is opened as N copies with
+	// different five-tuples (so per-flow schemes hash them onto
+	// different paths), and the flow's completion time is the FIRST
+	// copy to finish. The losing copies run to completion in the
+	// background, which is RepFlow's documented bandwidth cost.
+	Replication *ReplicationConfig
+
+	// Tracer, when non-nil, records flow lifecycle and retransmission
+	// events for post-run inspection (see internal/trace). Packet-level
+	// events are not recorded by the runner — they would dominate the
+	// run; use the tracer's filters with custom hooks for those.
+	Tracer *trace.Tracer
+
+	// BuildNetwork, when set, constructs the network instead of the
+	// default leaf-spine build of Topology — e.g. a fat-tree:
+	//
+	//	BuildNetwork: func(s, f, rng, deliver) (topology.Network, error) {
+	//	    return topology.NewFatTree(s, ftCfg, f, rng, deliver)
+	//	}
+	//
+	// Topology is ignored when this is set.
+	BuildNetwork func(*eventsim.Sim, lb.Factory, *eventsim.RNG, topology.DeliverFunc) (topology.Network, error)
+}
+
+func (sc *Scenario) withDefaults() {
+	if sc.ShortThreshold <= 0 {
+		sc.ShortThreshold = 100 * units.KB
+	}
+	if sc.TimeBucket <= 0 {
+		sc.TimeBucket = units.Millisecond
+	}
+	if sc.MaxTime <= 0 {
+		sc.MaxTime = 60 * units.Second
+	}
+	if sc.SchemeName == "" {
+		sc.SchemeName = "unnamed"
+	}
+}
+
+// ReplicationConfig parameterizes RepFlow-style replication.
+type ReplicationConfig struct {
+	// Threshold: flows at or below this size are replicated (100 KB —
+	// RepFlow replicates only the mice).
+	Threshold units.Bytes
+	// Copies is the total number of copies (2 in RepFlow).
+	Copies int
+}
+
+// PortSnapshot records one fabric port's totals at the end of a run.
+type PortSnapshot struct {
+	Label    string
+	BusyTime units.Time
+	Queue    netem.QueueStats
+	Link     netem.LinkConfig
+}
+
+// Result holds everything measured in one run.
+type Result struct {
+	Scenario       string
+	Scheme         string
+	Flows          []*transport.FlowStats
+	EndTime        units.Time
+	Drops          int64
+	ShortThreshold units.Bytes
+
+	// Uplinks snapshots every leaf uplink port (the equal-cost paths).
+	Uplinks []PortSnapshot
+
+	// ShortSamples holds per-packet records of short flows when
+	// Scenario.SampleShortPackets was set.
+	ShortSamples []transport.PacketSample
+
+	// Instantaneous series (when CollectTimeSeries): X in seconds.
+	ShortQueueDelayUs *stats.TimeSeries // mean queueing delay, µs
+	ShortOOORatio     *stats.TimeSeries // mean out-of-order indicator
+	LongOOORatio      *stats.TimeSeries
+	ShortGoodputBytes *stats.TimeSeries // payload bytes per bucket
+	LongGoodputBytes  *stats.TimeSeries
+}
+
+// Run executes the scenario and returns its measurements.
+func Run(sc Scenario) (*Result, error) {
+	sc.withDefaults()
+	if sc.Balancer == nil {
+		return nil, fmt.Errorf("sim: scenario %q has no balancer", sc.Name)
+	}
+	if len(sc.Flows) == 0 {
+		return nil, fmt.Errorf("sim: scenario %q has no flows", sc.Name)
+	}
+
+	s := eventsim.New()
+	rng := eventsim.NewRNG(sc.Seed)
+
+	res := &Result{
+		Scenario:       sc.Name,
+		Scheme:         sc.SchemeName,
+		ShortThreshold: sc.ShortThreshold,
+	}
+	if sc.CollectTimeSeries {
+		w := sc.TimeBucket.Seconds()
+		res.ShortQueueDelayUs = stats.NewTimeSeries(w)
+		res.ShortOOORatio = stats.NewTimeSeries(w)
+		res.LongOOORatio = stats.NewTimeSeries(w)
+		res.ShortGoodputBytes = stats.NewTimeSeries(w)
+		res.LongGoodputBytes = stats.NewTimeSeries(w)
+	}
+
+	var hosts []*transport.Host
+	deliver := func(host int, pkt *netem.Packet) { hosts[host].Receive(pkt) }
+	var net topology.Network
+	var err error
+	if sc.BuildNetwork != nil {
+		net, err = sc.BuildNetwork(s, sc.Balancer, rng.Split(), deliver)
+	} else {
+		net, err = topology.New(s, sc.Topology, sc.Balancer, rng.Split(), deliver)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sim: scenario %q: %w", sc.Name, err)
+	}
+	hosts = make([]*transport.Host, net.Hosts())
+	for h := range hosts {
+		host := h
+		hosts[h] = transport.NewHost(s, h, func(pkt *netem.Packet) { net.Inject(host, pkt) })
+	}
+
+	remaining := len(sc.Flows)
+	for i, f := range sc.Flows {
+		f := f
+		if f.Src == f.Dst || f.Src < 0 || f.Src >= len(hosts) || f.Dst < 0 || f.Dst >= len(hosts) {
+			return nil, fmt.Errorf("sim: flow %d has invalid endpoints %d->%d", i, f.Src, f.Dst)
+		}
+		id := netem.FlowID{Src: f.Src, Dst: f.Dst, Port: i}
+		short := f.Size <= sc.ShortThreshold
+		if sc.Replication != nil && sc.Replication.Copies > 1 && f.Size <= sc.Replication.Threshold {
+			openReplicated(s, sc, res, hosts, f, i, &remaining)
+			continue
+		}
+		s.At(f.Start, func() {
+			recvHost := hosts[f.Dst]
+			sndHost := hosts[f.Src]
+			snd := sndHost.OpenSender(sc.Transport, id, f.Size, func(done *transport.Sender) {
+				recvHost.CloseReceiver(id)
+				sc.Tracer.Record(trace.Event{
+					At: s.Now(), Kind: trace.FlowEnd, Flow: id,
+					Note: fmt.Sprintf("fct=%v retx=%d", done.Stats.FCT(), done.Stats.Retransmits),
+				})
+				remaining--
+				if sc.StopWhenDone && remaining == 0 {
+					s.Stop()
+				}
+			})
+			snd.Stats.Deadline = f.Deadline
+			recv := recvHost.OpenReceiver(sc.Transport, id, f.Size, &snd.Stats)
+			if sc.SampleShortPackets && short {
+				recv.Sample = func(ps transport.PacketSample) {
+					res.ShortSamples = append(res.ShortSamples, ps)
+				}
+			}
+			if sc.CollectTimeSeries {
+				prev := recv.Sample
+				recv.Sample = func(ps transport.PacketSample) {
+					if prev != nil {
+						prev(ps)
+					}
+					at := ps.At.Seconds()
+					ooo := 0.0
+					if ps.OutOfOrder {
+						ooo = 1
+					}
+					if short {
+						res.ShortQueueDelayUs.Add(at, ps.QueueDelay.Micros())
+						res.ShortOOORatio.Add(at, ooo)
+					} else {
+						res.LongOOORatio.Add(at, ooo)
+					}
+				}
+			}
+			res.Flows = append(res.Flows, &snd.Stats)
+			sc.Tracer.Record(trace.Event{
+				At: s.Now(), Kind: trace.FlowStart, Flow: id,
+				Note: f.Size.String(),
+			})
+			snd.Start()
+		})
+	}
+
+	// Goodput series: sample each flow's acked-byte progress once per
+	// bucket (per-packet samples carry no size, and wrapping the
+	// fabric's deliver path would double-dispatch).
+	var flushGoodput func()
+	if sc.CollectTimeSeries {
+		flushGoodput = installGoodputSampler(s, sc, res)
+	}
+
+	s.RunUntil(sc.MaxTime)
+	if flushGoodput != nil {
+		flushGoodput()
+	}
+
+	res.EndTime = s.Now()
+	res.Drops = net.Drops()
+	for _, p := range net.BalancedPorts() {
+		res.Uplinks = append(res.Uplinks, PortSnapshot{
+			Label:    p.Label(),
+			BusyTime: p.BusyTime(),
+			Queue:    p.Queue().Stats(),
+			Link:     p.Link(),
+		})
+	}
+	return res, nil
+}
+
+// installGoodputSampler periodically records each flow's acked-byte
+// deltas into the goodput time series, bucketized by the sample time.
+// The returned flush captures the final partial bucket after the run
+// stops (completion can land between ticks).
+func installGoodputSampler(s *eventsim.Sim, sc Scenario, res *Result) (flush func()) {
+	lastAcked := make(map[int]units.Bytes) // index in res.Flows
+	sample := func() {
+		at := s.Now().Seconds()
+		for i, fs := range res.Flows {
+			d := fs.BytesAcked - lastAcked[i]
+			if d <= 0 {
+				continue
+			}
+			lastAcked[i] = fs.BytesAcked
+			if fs.Size <= sc.ShortThreshold {
+				res.ShortGoodputBytes.Add(at, float64(d))
+			} else {
+				res.LongGoodputBytes.Add(at, float64(d))
+			}
+		}
+	}
+	period := sc.TimeBucket
+	var tick func()
+	tick = func() {
+		sample()
+		s.After(period, tick)
+	}
+	s.After(period, tick)
+	return sample
+}
+
+// openReplicated realizes one flow as N racing copies (RepFlow). The
+// canonical FlowStats in res.Flows receives the winner's record; losers
+// keep draining but are otherwise ignored.
+func openReplicated(s *eventsim.Sim, sc Scenario, res *Result, hosts []*transport.Host, f workload.Flow, idx int, remaining *int) {
+	canonical := &transport.FlowStats{
+		ID:       netem.FlowID{Src: f.Src, Dst: f.Dst, Port: idx},
+		Size:     f.Size,
+		Deadline: f.Deadline,
+	}
+	res.Flows = append(res.Flows, canonical)
+	won := false
+	copies := sc.Replication.Copies
+	s.At(f.Start, func() {
+		for c := 0; c < copies; c++ {
+			// Distinct Port per copy: per-flow schemes (ECMP, WCMP,
+			// Presto, ...) hash the copies independently.
+			id := netem.FlowID{Src: f.Src, Dst: f.Dst, Port: idx + (c+1)<<24}
+			recvHost := hosts[f.Dst]
+			sndHost := hosts[f.Src]
+			snd := sndHost.OpenSender(sc.Transport, id, f.Size, func(done *transport.Sender) {
+				recvHost.CloseReceiver(id)
+				if won {
+					return
+				}
+				won = true
+				// The winner's record becomes the flow's record.
+				*canonical = done.Stats
+				canonical.ID = netem.FlowID{Src: f.Src, Dst: f.Dst, Port: idx}
+				canonical.Deadline = f.Deadline
+				sc.Tracer.Record(trace.Event{
+					At: s.Now(), Kind: trace.FlowEnd, Flow: canonical.ID,
+					Note: fmt.Sprintf("repflow winner fct=%v", done.Stats.FCT()),
+				})
+				*remaining--
+				if sc.StopWhenDone && *remaining == 0 {
+					s.Stop()
+				}
+			})
+			snd.Stats.Deadline = f.Deadline
+			recvHost.OpenReceiver(sc.Transport, id, f.Size, &snd.Stats)
+			snd.Start()
+		}
+		sc.Tracer.Record(trace.Event{
+			At: s.Now(), Kind: trace.FlowStart,
+			Flow: netem.FlowID{Src: f.Src, Dst: f.Dst, Port: idx},
+			Note: fmt.Sprintf("%v x%d replicas", f.Size, copies),
+		})
+	})
+}

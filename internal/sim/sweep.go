@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RunAll executes the scenarios concurrently (each scenario is its own
+// single-threaded simulation; the parallelism is across runs, which is
+// where a parameter sweep's wall-clock goes on multicore machines).
+// Results are returned in input order; the first error, if any, is
+// returned alongside whatever completed.
+func RunAll(scenarios []Scenario, workers int) ([]*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	results := make([]*Result, len(scenarios))
+	errs := make([]error, len(scenarios))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i], errs[i] = Run(scenarios[i])
+			}
+		}()
+	}
+	for i := range scenarios {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,337 @@
+// Package stats provides the small statistics toolkit the experiments
+// reduce their measurements with: streaming mean/variance, percentile
+// and CDF estimation over collected samples, time-bucketed series for
+// "instantaneous" plots, and interval throughput meters.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Online accumulates count/mean/variance in one pass (Welford).
+type Online struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation in.
+func (o *Online) Add(x float64) {
+	o.n++
+	if o.n == 1 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	d := x - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (x - o.mean)
+}
+
+// N returns the observation count.
+func (o *Online) N() int64 { return o.n }
+
+// Mean returns the running mean (0 when empty).
+func (o *Online) Mean() float64 { return o.mean }
+
+// Var returns the unbiased sample variance (0 with <2 observations).
+func (o *Online) Var() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (o *Online) Std() float64 { return math.Sqrt(o.Var()) }
+
+// Min returns the smallest observation (0 when empty).
+func (o *Online) Min() float64 {
+	if o.n == 0 {
+		return 0
+	}
+	return o.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (o *Online) Max() float64 {
+	if o.n == 0 {
+		return 0
+	}
+	return o.max
+}
+
+// Sample collects raw observations for percentile/CDF queries. It
+// sorts lazily and re-sorts only after new data arrives.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) by linear
+// interpolation between order statistics; 0 when empty.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	rank := p / 100 * float64(len(s.xs)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(s.xs) {
+		return s.xs[len(s.xs)-1]
+	}
+	return s.xs[lo]*(1-frac) + s.xs[lo+1]*frac
+}
+
+// CDF returns (value, cumulative fraction) pairs at the given number of
+// evenly spaced quantiles, suitable for plotting.
+func (s *Sample) CDF(points int) []Point {
+	if len(s.xs) == 0 || points < 2 {
+		return nil
+	}
+	s.ensureSorted()
+	out := make([]Point, 0, points)
+	for i := 0; i < points; i++ {
+		q := float64(i) / float64(points-1)
+		idx := int(q * float64(len(s.xs)-1))
+		out = append(out, Point{X: s.xs[idx], Y: q})
+	}
+	return out
+}
+
+// FractionAtOrBelow returns the empirical CDF evaluated at x.
+func (s *Sample) FractionAtOrBelow(x float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	i := sort.SearchFloat64s(s.xs, math.Nextafter(x, math.MaxFloat64))
+	return float64(i) / float64(len(s.xs))
+}
+
+// Point is one (x, y) plot coordinate.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named sequence of points — one curve of one figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y})
+}
+
+// Format renders the series as aligned "x y" rows for terminal output.
+func (s *Series) Format() string {
+	out := fmt.Sprintf("# %s\n", s.Name)
+	for _, p := range s.Points {
+		out += fmt.Sprintf("%-12.6g %.6g\n", p.X, p.Y)
+	}
+	return out
+}
+
+// TimeSeries buckets observations by time for "instantaneous" plots
+// (Fig. 8/9): each bucket keeps the count and sum of observations
+// falling in [i*width, (i+1)*width).
+type TimeSeries struct {
+	width   float64
+	buckets []bucket
+}
+
+type bucket struct {
+	n   int64
+	sum float64
+}
+
+// NewTimeSeries creates a series with the given bucket width (in
+// whatever unit the caller keys by, typically seconds).
+func NewTimeSeries(width float64) *TimeSeries {
+	if width <= 0 {
+		panic("stats: non-positive bucket width")
+	}
+	return &TimeSeries{width: width}
+}
+
+// Add records an observation at the given time.
+func (t *TimeSeries) Add(at, value float64) {
+	if at < 0 {
+		return
+	}
+	i := int(at / t.width)
+	for len(t.buckets) <= i {
+		t.buckets = append(t.buckets, bucket{})
+	}
+	t.buckets[i].n++
+	t.buckets[i].sum += value
+}
+
+// Means returns one point per non-empty bucket: (bucket midpoint,
+// bucket mean).
+func (t *TimeSeries) Means() []Point {
+	var out []Point
+	for i, b := range t.buckets {
+		if b.n == 0 {
+			continue
+		}
+		out = append(out, Point{
+			X: (float64(i) + 0.5) * t.width,
+			Y: b.sum / float64(b.n),
+		})
+	}
+	return out
+}
+
+// Sums returns one point per bucket (including empty ones up to the
+// last occupied): (bucket midpoint, bucket sum). Useful for rates:
+// sum of bytes per bucket / width = throughput.
+func (t *TimeSeries) Sums() []Point {
+	out := make([]Point, len(t.buckets))
+	for i, b := range t.buckets {
+		out[i] = Point{X: (float64(i) + 0.5) * t.width, Y: b.sum}
+	}
+	return out
+}
+
+// Rates divides bucket sums by the bucket width, turning byte counts
+// into throughput curves.
+func (t *TimeSeries) Rates() []Point {
+	out := t.Sums()
+	for i := range out {
+		out[i].Y /= t.width
+	}
+	return out
+}
+
+// Histogram counts observations in fixed-width bins, for queue-length
+// and delay distributions where retaining raw samples would be too
+// costly.
+type Histogram struct {
+	width    float64
+	bins     []int64
+	n        int64
+	overflow int64
+	sum      float64
+}
+
+// NewHistogram creates a histogram with the given bin width and number
+// of bins; observations beyond bins*width are counted in an overflow
+// bucket.
+func NewHistogram(width float64, bins int) *Histogram {
+	if width <= 0 || bins <= 0 {
+		panic("stats: histogram needs positive width and bins")
+	}
+	return &Histogram{width: width, bins: make([]int64, bins)}
+}
+
+// Add records one observation (negative values clamp to bin 0).
+func (h *Histogram) Add(x float64) {
+	h.n++
+	h.sum += x
+	if x < 0 {
+		h.bins[0]++
+		return
+	}
+	i := int(x / h.width)
+	if i >= len(h.bins) {
+		h.overflow++
+		return
+	}
+	h.bins[i]++
+}
+
+// N returns the observation count.
+func (h *Histogram) N() int64 { return h.n }
+
+// Mean returns the mean observation.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]) from
+// the binned counts; observations in the overflow bucket return +Inf's
+// stand-in, the histogram's upper edge.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.n))
+	if target >= h.n {
+		target = h.n - 1
+	}
+	var acc int64
+	for i, c := range h.bins {
+		acc += c
+		if acc > target {
+			return float64(i+1) * h.width
+		}
+	}
+	return float64(len(h.bins)) * h.width
+}
+
+// CDF returns (upper bin edge, cumulative fraction) points for
+// non-empty prefixes of the histogram.
+func (h *Histogram) CDF() []Point {
+	if h.n == 0 {
+		return nil
+	}
+	var out []Point
+	var acc int64
+	for i, c := range h.bins {
+		acc += c
+		if c > 0 || (i == len(h.bins)-1 && h.overflow > 0) {
+			out = append(out, Point{X: float64(i+1) * h.width, Y: float64(acc) / float64(h.n)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tlb/internal/eventsim"
+)
+
+func TestOnlineBasics(t *testing.T) {
+	var o Online
+	if o.Mean() != 0 || o.Var() != 0 || o.N() != 0 {
+		t.Fatal("empty Online not zero")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		o.Add(x)
+	}
+	if o.N() != 8 || o.Mean() != 5 {
+		t.Fatalf("n=%d mean=%v", o.N(), o.Mean())
+	}
+	// Sample variance of that classic dataset is 32/7.
+	if math.Abs(o.Var()-32.0/7) > 1e-12 {
+		t.Fatalf("var = %v", o.Var())
+	}
+	if o.Min() != 2 || o.Max() != 9 {
+		t.Fatalf("min=%v max=%v", o.Min(), o.Max())
+	}
+	if math.Abs(o.Std()-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Fatalf("std = %v", o.Std())
+	}
+}
+
+// Welford must match the naive two-pass computation.
+func TestOnlineMatchesNaiveProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e9 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var o Online
+		sum := 0.0
+		for _, x := range xs {
+			o.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		var m2 float64
+		for _, x := range xs {
+			m2 += (x - mean) * (x - mean)
+		}
+		naiveVar := m2 / float64(len(xs)-1)
+		scale := math.Max(1, math.Abs(naiveVar))
+		return math.Abs(o.Mean()-mean) < 1e-6*math.Max(1, math.Abs(mean)) &&
+			math.Abs(o.Var()-naiveVar) < 1e-6*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplePercentiles(t *testing.T) {
+	var s Sample
+	if s.Percentile(50) != 0 || s.Mean() != 0 {
+		t.Fatal("empty sample not zero")
+	}
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if s.Percentile(0) != 1 || s.Percentile(100) != 100 {
+		t.Fatalf("extremes: %v, %v", s.Percentile(0), s.Percentile(100))
+	}
+	if p := s.Percentile(50); math.Abs(p-50.5) > 1e-9 {
+		t.Fatalf("median = %v, want 50.5", p)
+	}
+	if p := s.Percentile(99); p < 99 || p > 100 {
+		t.Fatalf("p99 = %v", p)
+	}
+	if s.Mean() != 50.5 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+}
+
+func TestSampleUnsortedInsertions(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{5, 1, 4, 2, 3} {
+		s.Add(x)
+	}
+	if s.Percentile(50) != 3 {
+		t.Fatalf("median = %v", s.Percentile(50))
+	}
+	s.Add(0) // re-sort must trigger
+	if got := s.Percentile(0); got != 0 {
+		t.Fatalf("min after new add = %v", got)
+	}
+}
+
+func TestFractionAtOrBelow(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 10; i++ {
+		s.Add(float64(i))
+	}
+	if f := s.FractionAtOrBelow(5); f != 0.5 {
+		t.Fatalf("F(5) = %v", f)
+	}
+	if f := s.FractionAtOrBelow(0.5); f != 0 {
+		t.Fatalf("F(0.5) = %v", f)
+	}
+	if f := s.FractionAtOrBelow(10); f != 1 {
+		t.Fatalf("F(10) = %v", f)
+	}
+}
+
+func TestCDFOutput(t *testing.T) {
+	var s Sample
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i))
+	}
+	pts := s.CDF(11)
+	if len(pts) != 11 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if pts[0].Y != 0 || pts[10].Y != 1 {
+		t.Fatalf("CDF endpoints %v %v", pts[0], pts[10])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X < pts[i-1].X || pts[i].Y < pts[i-1].Y {
+			t.Fatal("CDF not monotone")
+		}
+	}
+	if s2 := (&Sample{}).CDF(5); s2 != nil {
+		t.Fatal("empty CDF not nil")
+	}
+}
+
+// Percentile must be monotone in p.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	rng := eventsim.NewRNG(1)
+	var s Sample
+	for i := 0; i < 500; i++ {
+		s.Add(rng.Float64() * 100)
+	}
+	f := func(a, b uint8) bool {
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return s.Percentile(pa) <= s.Percentile(pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesFormat(t *testing.T) {
+	s := Series{Name: "afct"}
+	s.Add(0.1, 2)
+	s.Add(0.2, 4)
+	out := s.Format()
+	if !strings.HasPrefix(out, "# afct\n") {
+		t.Fatalf("format: %q", out)
+	}
+	if !strings.Contains(out, "0.1") || !strings.Contains(out, "4") {
+		t.Fatalf("format: %q", out)
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries(1.0)
+	ts.Add(0.5, 10)
+	ts.Add(0.7, 20)
+	ts.Add(2.5, 6)
+	ts.Add(-1, 99) // ignored
+
+	means := ts.Means()
+	if len(means) != 2 {
+		t.Fatalf("%d mean points", len(means))
+	}
+	if means[0].X != 0.5 || means[0].Y != 15 {
+		t.Fatalf("bucket 0 mean %v", means[0])
+	}
+	if means[1].X != 2.5 || means[1].Y != 6 {
+		t.Fatalf("bucket 2 mean %v", means[1])
+	}
+
+	sums := ts.Sums()
+	if len(sums) != 3 {
+		t.Fatalf("%d sum points", len(sums))
+	}
+	if sums[0].Y != 30 || sums[1].Y != 0 || sums[2].Y != 6 {
+		t.Fatalf("sums %v", sums)
+	}
+
+	rates := ts.Rates()
+	if rates[0].Y != 30 {
+		t.Fatalf("rate %v with width 1", rates[0].Y)
+	}
+}
+
+func TestTimeSeriesWidthScaling(t *testing.T) {
+	ts := NewTimeSeries(0.5)
+	ts.Add(0.1, 100)
+	rates := ts.Rates()
+	if rates[0].Y != 200 {
+		t.Fatalf("rate %v, want 200 (100 per 0.5s)", rates[0].Y)
+	}
+}
+
+func TestTimeSeriesPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewTimeSeries(0)
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 10) // bins [0,10), [10,20), ... [90,100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	h.Add(1000) // overflow
+	h.Add(-5)   // clamps to bin 0
+	if h.N() != 102 {
+		t.Fatalf("n = %d", h.N())
+	}
+	if q := h.Quantile(0.5); q < 40 || q > 60 {
+		t.Fatalf("median bound %v", q)
+	}
+	if q := h.Quantile(0); q != 10 {
+		t.Fatalf("q0 = %v, want first bin edge", q)
+	}
+	pts := h.CDF()
+	if len(pts) == 0 || pts[len(pts)-1].Y > 1.0001 {
+		t.Fatalf("CDF %v", pts)
+	}
+	prev := 0.0
+	for _, p := range pts {
+		if p.Y < prev {
+			t.Fatal("CDF not monotone")
+		}
+		prev = p.Y
+	}
+	if h.Mean() == 0 {
+		t.Fatal("mean")
+	}
+}
+
+func TestHistogramPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewHistogram(0, 10)
+}

@@ -1,0 +1,211 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"tlb/internal/eventsim"
+	"tlb/internal/lb"
+	"tlb/internal/netem"
+	"tlb/internal/units"
+)
+
+func ftConfig(k int) FatTreeConfig {
+	return FatTreeConfig{
+		K:          k,
+		HostLink:   netem.LinkConfig{Bandwidth: units.Gbps, Delay: 5 * units.Microsecond},
+		FabricLink: netem.LinkConfig{Bandwidth: units.Gbps, Delay: 10 * units.Microsecond},
+		Queue:      netem.QueueConfig{Capacity: 128},
+	}
+}
+
+func buildFT(t *testing.T, k int, f lb.Factory) (*FatTree, *eventsim.Sim, map[int]int) {
+	t.Helper()
+	s := eventsim.New()
+	got := map[int]int{}
+	ft, err := NewFatTree(s, ftConfig(k), f, eventsim.NewRNG(1), func(host int, pkt *netem.Packet) {
+		got[host]++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ft, s, got
+}
+
+func TestFatTreeValidate(t *testing.T) {
+	bad := []FatTreeConfig{
+		{K: 0},
+		{K: 3, HostLink: netem.LinkConfig{Bandwidth: 1}, FabricLink: netem.LinkConfig{Bandwidth: 1}},
+		{K: 4}, // no bandwidth
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+	good := ftConfig(4)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFatTreeCounts(t *testing.T) {
+	cfg := ftConfig(4)
+	if cfg.Hosts() != 16 || cfg.Paths() != 4 {
+		t.Fatalf("k=4: hosts=%d paths=%d", cfg.Hosts(), cfg.Paths())
+	}
+	cfg.K = 8
+	if cfg.Hosts() != 128 || cfg.Paths() != 16 {
+		t.Fatalf("k=8: hosts=%d paths=%d", cfg.Hosts(), cfg.Paths())
+	}
+	ft, _, _ := buildFT(t, 4, lb.ECMP())
+	if len(ft.edges) != 8 || len(ft.aggs) != 8 || len(ft.cores) != 4 {
+		t.Fatalf("switch counts: %d edges %d aggs %d cores", len(ft.edges), len(ft.aggs), len(ft.cores))
+	}
+	// Balanced ports: 8 edges * 2 up + 8 aggs * 2 up = 32.
+	if got := len(ft.BalancedPorts()); got != 32 {
+		t.Fatalf("%d balanced ports, want 32", got)
+	}
+}
+
+func dataPacket(src, dst int) *netem.Packet {
+	return &netem.Packet{Flow: netem.FlowID{Src: src, Dst: dst}, Kind: netem.Data, Payload: 1000, Wire: 1040}
+}
+
+func TestFatTreeDelivery(t *testing.T) {
+	ft, s, got := buildFT(t, 4, lb.ECMP())
+	// Same edge (hosts 0,1), same pod different edge (0,2), inter-pod
+	// (0, 12).
+	cases := [][2]int{{0, 1}, {0, 2}, {0, 12}, {15, 0}, {7, 8}}
+	for _, c := range cases {
+		ft.Inject(c[0], dataPacket(c[0], c[1]))
+	}
+	s.Run()
+	for _, c := range cases {
+		if got[c[1]] == 0 {
+			t.Fatalf("host %d never received packet from %d", c[1], c[0])
+		}
+	}
+	if ft.Drops() != 0 {
+		t.Fatalf("drops: %d", ft.Drops())
+	}
+}
+
+func TestFatTreeSameEdgeSkipsFabric(t *testing.T) {
+	ft, s, got := buildFT(t, 4, lb.ECMP())
+	ft.Inject(0, dataPacket(0, 1))
+	s.Run()
+	if got[1] != 1 {
+		t.Fatal("not delivered")
+	}
+	for _, e := range ft.edges {
+		for _, p := range e.up {
+			if p.Queue().Stats().Enqueued != 0 {
+				t.Fatal("same-edge packet left the edge switch")
+			}
+		}
+	}
+}
+
+func TestFatTreeIntraPodStaysInPod(t *testing.T) {
+	ft, s, _ := buildFT(t, 4, lb.ECMP())
+	// Hosts 0 and 2: same pod (0), different edges.
+	ft.Inject(0, dataPacket(0, 2))
+	s.Run()
+	for _, a := range ft.aggs {
+		for _, p := range a.up {
+			if p.Queue().Stats().Enqueued != 0 {
+				t.Fatal("intra-pod packet reached a core uplink")
+			}
+		}
+	}
+}
+
+func TestFatTreeInterPodCrossesCore(t *testing.T) {
+	ft, s, got := buildFT(t, 4, lb.ECMP())
+	ft.Inject(0, dataPacket(0, 12)) // pod 0 -> pod 3
+	s.Run()
+	if got[12] != 1 {
+		t.Fatal("not delivered")
+	}
+	coreHits := 0
+	for _, a := range ft.aggs {
+		for _, p := range a.up {
+			coreHits += int(p.Queue().Stats().Enqueued)
+		}
+	}
+	if coreHits != 1 {
+		t.Fatalf("inter-pod packet crossed %d agg uplinks, want 1", coreHits)
+	}
+}
+
+// TestFatTreeAllPairs delivers a packet between every host pair under
+// per-packet random balancing, proving the routing tables are complete.
+func TestFatTreeAllPairs(t *testing.T) {
+	ft, s, got := buildFT(t, 4, lb.RPS())
+	n := ft.Hosts()
+	sent := 0
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			ft.Inject(src, dataPacket(src, dst))
+			sent++
+		}
+	}
+	s.Run()
+	recv := 0
+	for _, c := range got {
+		recv += c
+	}
+	if recv != sent {
+		t.Fatalf("delivered %d of %d", recv, sent)
+	}
+	if ft.Drops() != 0 {
+		t.Fatalf("drops: %d", ft.Drops())
+	}
+}
+
+func TestFatTreeEveryQueueLabels(t *testing.T) {
+	ft, _, _ := buildFT(t, 4, lb.ECMP())
+	n := 0
+	for range onlyLabels(ft) {
+		n++
+	}
+	// host NICs 16 + edge down 16 + edge up 16 + agg down 16 +
+	// agg up 16 + core down 16 = 96.
+	if n != 96 {
+		t.Fatalf("EveryQueue visited %d queues, want 96", n)
+	}
+}
+
+func onlyLabels(ft *FatTree) map[string]bool {
+	labels := map[string]bool{}
+	ft.EveryQueue(func(label string, q *netem.Queue) {
+		labels[label] = true
+	})
+	return labels
+}
+
+func TestFatTreeBalancerPerSwitch(t *testing.T) {
+	// Count distinct balancer instances created: one per edge + agg.
+	instances := 0
+	counting := func(sim *eventsim.Sim, rng *eventsim.RNG, ports []*netem.Port) lb.Balancer {
+		instances++
+		return lb.ECMP()(sim, rng, ports)
+	}
+	buildFT(t, 4, counting)
+	if instances != 16 {
+		t.Fatalf("%d balancer instances, want 16 (8 edges + 8 aggs)", instances)
+	}
+}
+
+func TestFatTreeLabelsWellFormed(t *testing.T) {
+	ft, _, _ := buildFT(t, 4, lb.ECMP())
+	for l := range onlyLabels(ft) {
+		if !strings.Contains(l, "->") {
+			t.Fatalf("label %q malformed", l)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"tlb/internal/netem"
+	"tlb/internal/units"
+)
+
+func ev(at units.Time, k EventKind, where string) Event {
+	return Event{At: at, Kind: k, Flow: netem.FlowID{Src: 1, Dst: 2}, Where: where}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(ev(1, Enqueue, "x")) // must not panic
+	if tr.Events() != nil || tr.Count(Enqueue) != 0 {
+		t.Fatal("nil tracer returned data")
+	}
+	if err := tr.Dump(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Summary(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordAndOrder(t *testing.T) {
+	tr := New(0)
+	for i := 0; i < 10; i++ {
+		tr.Record(ev(units.Time(i), Enqueue, "p"))
+	}
+	evs := tr.Events()
+	if len(evs) != 10 {
+		t.Fatalf("%d events", len(evs))
+	}
+	for i, e := range evs {
+		if e.At != units.Time(i) {
+			t.Fatal("order broken")
+		}
+	}
+	if tr.Count(Enqueue) != 10 {
+		t.Fatalf("count %d", tr.Count(Enqueue))
+	}
+}
+
+func TestRingRotation(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(ev(units.Time(i), Drop, "p"))
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(evs))
+	}
+	// Oldest retained is 6, newest 9, chronological.
+	if evs[0].At != 6 || evs[3].At != 9 {
+		t.Fatalf("ring contents %v..%v", evs[0].At, evs[3].At)
+	}
+	// Counts survive rotation.
+	if tr.Count(Drop) != 10 {
+		t.Fatalf("count %d", tr.Count(Drop))
+	}
+}
+
+func TestFilterKinds(t *testing.T) {
+	tr := New(0).WithFilter(Filter{Kinds: []EventKind{Drop, Retransmit}})
+	tr.Record(ev(1, Enqueue, ""))
+	tr.Record(ev(2, Drop, ""))
+	tr.Record(ev(3, Retransmit, ""))
+	if len(tr.Events()) != 2 {
+		t.Fatalf("filter kept %d", len(tr.Events()))
+	}
+}
+
+func TestFilterFlowMatchesBothDirections(t *testing.T) {
+	flow := netem.FlowID{Src: 3, Dst: 4, Port: 1}
+	f := Filter{Flow: &flow}
+	if !f.Match(Event{Flow: flow}) {
+		t.Fatal("forward direction rejected")
+	}
+	if !f.Match(Event{Flow: flow.Reversed()}) {
+		t.Fatal("reverse direction rejected")
+	}
+	if f.Match(Event{Flow: netem.FlowID{Src: 9, Dst: 9}}) {
+		t.Fatal("unrelated flow accepted")
+	}
+}
+
+func TestFilterTimeWindowAndPrefix(t *testing.T) {
+	f := Filter{After: 10, Before: 20, WherePrefix: "leaf0->"}
+	if f.Match(Event{At: 5, Where: "leaf0->spine1"}) {
+		t.Fatal("early event accepted")
+	}
+	if f.Match(Event{At: 25, Where: "leaf0->spine1"}) {
+		t.Fatal("late event accepted")
+	}
+	if f.Match(Event{At: 15, Where: "leaf1->spine1"}) {
+		t.Fatal("wrong location accepted")
+	}
+	if !f.Match(Event{At: 15, Where: "leaf0->spine1"}) {
+		t.Fatal("matching event rejected")
+	}
+}
+
+func TestDumpAndSummary(t *testing.T) {
+	tr := New(0)
+	tr.Record(Event{At: units.Microsecond, Kind: Enqueue, Flow: netem.FlowID{Src: 1, Dst: 2}, Where: "leaf0->spine0", Seq: 1460})
+	tr.Record(Event{At: 2 * units.Microsecond, Kind: Drop, Flow: netem.FlowID{Src: 1, Dst: 2}, Where: "leaf0->spine0", Note: "full"})
+	var b strings.Builder
+	if err := tr.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"ENQ", "DROP", "leaf0->spine0", "seq=1460", "(full)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+	b.Reset()
+	if err := tr.Summary(&b); err != nil {
+		t.Fatal(err)
+	}
+	sum := b.String()
+	if !strings.Contains(sum, "ENQ") || !strings.Contains(sum, "hot leaf0->spine0") {
+		t.Fatalf("summary:\n%s", sum)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Enqueue.String() != "ENQ" || Reroute.String() != "REROUTE" {
+		t.Fatal("kind names")
+	}
+	if !strings.Contains(EventKind(99).String(), "99") {
+		t.Fatal("unknown kind")
+	}
+}

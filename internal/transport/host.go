@@ -1,0 +1,99 @@
+package transport
+
+import (
+	"fmt"
+
+	"tlb/internal/eventsim"
+	"tlb/internal/netem"
+	"tlb/internal/units"
+)
+
+// Host multiplexes flow endpoints on one simulated machine. The fabric
+// delivers packets to Receive; endpoints inject packets through the
+// out function the host was built with (typically fabric.Inject).
+type Host struct {
+	sim *eventsim.Sim
+	id  int
+	out func(*netem.Packet)
+
+	senders   map[netem.FlowID]*Sender
+	receivers map[netem.FlowID]*Receiver
+}
+
+// NewHost creates a host with the given network injection function.
+func NewHost(sim *eventsim.Sim, id int, out func(*netem.Packet)) *Host {
+	return &Host{
+		sim:       sim,
+		id:        id,
+		out:       out,
+		senders:   make(map[netem.FlowID]*Sender),
+		receivers: make(map[netem.FlowID]*Receiver),
+	}
+}
+
+// ID returns the host index.
+func (h *Host) ID() int { return h.id }
+
+// OpenSender registers (but does not start) a sender for the flow.
+// done fires at completion, after the host has released the endpoint.
+func (h *Host) OpenSender(cfg Config, id netem.FlowID, size units.Bytes, done func(*Sender)) *Sender {
+	if id.Src != h.id {
+		panic(fmt.Sprintf("transport: host %d opening sender for flow %v", h.id, id))
+	}
+	if _, dup := h.senders[id]; dup {
+		panic(fmt.Sprintf("transport: duplicate sender for flow %v", id))
+	}
+	var s *Sender
+	s = NewSender(h.sim, cfg, id, size, h.out, func(snd *Sender) {
+		delete(h.senders, id)
+		if done != nil {
+			done(snd)
+		}
+	})
+	h.senders[id] = s
+	return s
+}
+
+// OpenReceiver registers the receiving endpoint for the flow; stats is
+// the same record the sender side writes its fields into.
+func (h *Host) OpenReceiver(cfg Config, id netem.FlowID, size units.Bytes, stats *FlowStats) *Receiver {
+	if id.Dst != h.id {
+		panic(fmt.Sprintf("transport: host %d opening receiver for flow %v", h.id, id))
+	}
+	if _, dup := h.receivers[id]; dup {
+		panic(fmt.Sprintf("transport: duplicate receiver for flow %v", id))
+	}
+	r := NewReceiver(h.sim, cfg, id, size, h.out, stats)
+	h.receivers[id] = r
+	return r
+}
+
+// CloseReceiver drops the receiving endpoint (called by the runner once
+// the flow is done, so endpoint maps do not grow with completed flows).
+func (h *Host) CloseReceiver(id netem.FlowID) {
+	delete(h.receivers, id)
+}
+
+// Receive dispatches a delivered packet to the right endpoint. Packets
+// for unknown flows (e.g. ACKs racing a completed sender) are dropped,
+// as a real host would RST-and-ignore.
+func (h *Host) Receive(pkt *netem.Packet) {
+	switch pkt.Kind {
+	case netem.Data:
+		if r, ok := h.receivers[pkt.Flow]; ok {
+			r.onData(pkt)
+		}
+	case netem.Syn:
+		if r, ok := h.receivers[pkt.Flow]; ok {
+			r.onSyn(pkt)
+		}
+	case netem.Ack:
+		if s, ok := h.senders[pkt.Flow.Reversed()]; ok {
+			s.onAck(pkt)
+		}
+	case netem.SynAck:
+		if s, ok := h.senders[pkt.Flow.Reversed()]; ok {
+			s.onSynAck(pkt)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package transport
+
+import (
+	"tlb/internal/eventsim"
+	"tlb/internal/netem"
+	"tlb/internal/units"
+)
+
+// PacketSample describes one received data packet, for experiments that
+// plot per-packet distributions (queue length seen, queueing delay).
+type PacketSample struct {
+	Flow       netem.FlowID
+	At         units.Time
+	QueueLen   int        // max queue length seen on admission at any hop
+	QueueDelay units.Time // total queueing delay across hops
+	OneWay     units.Time // send-to-receive delay
+	OutOfOrder bool
+}
+
+// Receiver is the receiving endpoint of one flow: it generates one
+// cumulative ACK per arriving data packet (no delayed ACKs, matching
+// the NS2 setups the paper uses), buffers out-of-order data and echoes
+// each packet's CE bit, which is what DCTCP needs.
+type Receiver struct {
+	sim  *eventsim.Sim
+	cfg  Config
+	out  func(*netem.Packet)
+	id   netem.FlowID
+	size units.Bytes
+
+	rcvNxt units.Bytes
+	// ooo holds out-of-order segments keyed by start seq.
+	ooo map[units.Bytes]units.Bytes
+
+	lastAckSent units.Bytes
+	sentAnyAck  bool
+
+	// Delayed-ACK state: how many in-order segments are unacknowledged
+	// and the timer that bounds the delay. lastCE tracks the CE bit of
+	// the previous data packet so a state change forces an immediate
+	// ACK (the DCTCP requirement).
+	pendingAcks int
+	ackTimer    *eventsim.Event
+	lastCE      bool
+	// lastBlock remembers the most recent out-of-order segment so its
+	// block is reported first, as RFC 2018 prescribes.
+	lastBlock netem.SackBlock
+
+	// Sample, when non-nil, receives one record per data packet; used
+	// by the Fig. 3/8 experiments. Left nil on large runs to avoid the
+	// memory cost.
+	Sample func(PacketSample)
+
+	Stats *FlowStats
+}
+
+// NewReceiver creates the receiving endpoint. stats is shared with the
+// experiment runner (and typically with the sender's record via
+// Host.Open, which merges them — here the receiver owns the
+// receiver-side fields of the same FlowStats).
+func NewReceiver(sim *eventsim.Sim, cfg Config, id netem.FlowID, size units.Bytes, out func(*netem.Packet), stats *FlowStats) *Receiver {
+	return &Receiver{
+		sim:   sim,
+		cfg:   cfg.withDefaults(),
+		out:   out,
+		id:    id,
+		size:  size,
+		ooo:   make(map[units.Bytes]units.Bytes),
+		Stats: stats,
+	}
+}
+
+// Complete reports whether all payload bytes have arrived.
+func (r *Receiver) Complete() bool { return r.rcvNxt >= r.size }
+
+// onSyn answers the handshake.
+func (r *Receiver) onSyn(pkt *netem.Packet) {
+	reply := &netem.Packet{
+		Flow:   r.id.Reversed(),
+		Kind:   netem.SynAck,
+		Wire:   r.cfg.HeaderBytes,
+		SentAt: r.sim.Now(),
+	}
+	r.out(reply)
+}
+
+// onData ingests one data segment and emits the corresponding ACK.
+func (r *Receiver) onData(pkt *netem.Packet) {
+	now := r.sim.Now()
+	r.Stats.PacketsRecv++
+	oneWay := now - pkt.SentAt
+	r.Stats.SumPktDelay += oneWay
+	r.Stats.DelaySamples++
+	outOfOrder := false
+
+	switch {
+	case pkt.Seq > r.rcvNxt:
+		// Hole below this segment: buffer it. Arrival above rcvNxt is
+		// the receiver-side reordering signal (retransmissions are
+		// displaced on purpose and excluded).
+		if !pkt.Retransmit {
+			r.Stats.OutOfOrder++
+			outOfOrder = true
+		}
+		r.ooo[pkt.Seq] = pkt.Payload
+		r.lastBlock = netem.SackBlock{Start: pkt.Seq, End: pkt.Seq + pkt.Payload}
+	case pkt.Seq+pkt.Payload <= r.rcvNxt:
+		// Entirely duplicate; ACK below re-states rcvNxt.
+	default:
+		// In-order (possibly overlapping): advance and drain the
+		// buffer.
+		r.rcvNxt = pkt.Seq + pkt.Payload
+		for {
+			l, ok := r.ooo[r.rcvNxt]
+			if !ok {
+				break
+			}
+			delete(r.ooo, r.rcvNxt)
+			r.rcvNxt += l
+		}
+	}
+
+	if r.Sample != nil {
+		r.Sample(PacketSample{
+			Flow:       r.id,
+			At:         now,
+			QueueLen:   pkt.MaxQueueSeen,
+			QueueDelay: pkt.QueueDelay,
+			OneWay:     oneWay,
+			OutOfOrder: outOfOrder,
+		})
+	}
+	r.Stats.SumQueueDelay += pkt.QueueDelay
+
+	// Delayed ACK (when enabled): in-order segments with a stable CE
+	// state may share one cumulative ACK; anything irregular — gaps,
+	// duplicates, CE transitions — must be acknowledged at once so the
+	// sender's loss and ECN machinery stays accurate.
+	ceChanged := pkt.CE != r.lastCE
+	r.lastCE = pkt.CE
+	if r.cfg.DelayedAck && !outOfOrder && !ceChanged && !pkt.FIN && pkt.Seq+pkt.Payload == r.rcvNxt {
+		r.pendingAcks++
+		if r.pendingAcks < 2 {
+			if r.ackTimer == nil || !r.ackTimer.Scheduled() {
+				ce := pkt.CE
+				r.ackTimer = r.sim.After(r.cfg.DelayedAckTimeout, func() {
+					r.emitAck(ce)
+				})
+			}
+			return
+		}
+	}
+	r.emitAck(pkt.CE)
+}
+
+// emitAck sends the cumulative (and selective) acknowledgement state.
+func (r *Receiver) emitAck(ce bool) {
+	if r.ackTimer != nil {
+		r.sim.Cancel(r.ackTimer)
+		r.ackTimer = nil
+	}
+	r.pendingAcks = 0
+	ack := &netem.Packet{
+		Flow:    r.id.Reversed(),
+		Kind:    netem.Ack,
+		Ack:     r.rcvNxt,
+		Wire:    r.cfg.HeaderBytes,
+		ECNEcho: ce,
+		SentAt:  r.sim.Now(),
+	}
+	if r.cfg.SACK {
+		r.fillSackBlocks(ack)
+	}
+	if r.sentAnyAck && r.rcvNxt == r.lastAckSent {
+		r.Stats.DupAcksSent++
+	}
+	r.lastAckSent = r.rcvNxt
+	r.sentAnyAck = true
+	r.out(ack)
+}
+
+// fillSackBlocks reports up to three out-of-order ranges, the most
+// recently received first (RFC 2018). Adjacent buffered segments are
+// coalesced so a block covers a contiguous range.
+func (r *Receiver) fillSackBlocks(ack *netem.Packet) {
+	if len(r.ooo) == 0 {
+		return
+	}
+	grow := func(b netem.SackBlock) netem.SackBlock {
+		// Extend in both directions over buffered segments.
+		for {
+			if l, ok := r.ooo[b.End]; ok {
+				b.End += l
+				continue
+			}
+			break
+		}
+		for {
+			found := false
+			for s, l := range r.ooo {
+				if s+l == b.Start {
+					b.Start = s
+					found = true
+					break
+				}
+			}
+			if !found {
+				break
+			}
+		}
+		return b
+	}
+	add := func(b netem.SackBlock) {
+		if b.End <= b.Start || ack.SackCount >= 3 {
+			return
+		}
+		for i := 0; i < int(ack.SackCount); i++ {
+			if ack.SackBlocks[i] == b {
+				return
+			}
+		}
+		ack.SackBlocks[ack.SackCount] = b
+		ack.SackCount++
+	}
+	if l, ok := r.ooo[r.lastBlock.Start]; ok && r.lastBlock.End == r.lastBlock.Start+l {
+		add(grow(r.lastBlock))
+	}
+	for s, l := range r.ooo {
+		if ack.SackCount >= 3 {
+			break
+		}
+		add(grow(netem.SackBlock{Start: s, End: s + l}))
+	}
+}

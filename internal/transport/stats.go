@@ -1,0 +1,81 @@
+package transport
+
+import (
+	"tlb/internal/netem"
+	"tlb/internal/units"
+)
+
+// FlowStats is the per-flow record every experiment reduces over.
+type FlowStats struct {
+	ID   netem.FlowID
+	Size units.Bytes
+
+	// Start is when the application opened the flow; End is when the
+	// last byte was cumulatively acknowledged at the sender. FCT is
+	// End-Start.
+	Start, End units.Time
+	Done       bool
+
+	// Deadline is the flow's absolute completion deadline (zero if
+	// none). Missed is set when the flow finished after it; unfinished
+	// flows past their deadline also count as missed at collection.
+	Deadline units.Time
+
+	// Sender-side counters.
+	PacketsSent int64
+	BytesSent   units.Bytes // payload, including retransmissions
+	BytesAcked  units.Bytes // cumulatively acknowledged payload
+	Retransmits int64
+	Timeouts    int64
+	FastRetx    int64
+	DupAcksRcvd int64 // duplicate ACKs observed by the sender
+	ECNAcks     int64 // ACKs carrying an ECN echo
+	WindowCuts  int64 // loss- or ECN-triggered reductions
+	MaxCwnd     units.Bytes
+
+	// Receiver-side counters.
+	SumQueueDelay units.Time // total queueing delay of received data packets, all hops
+	PacketsRecv   int64
+	OutOfOrder    int64 // data packets that arrived above rcvNxt (reordered or post-loss)
+	DupAcksSent   int64
+	SumPktDelay   units.Time // one-way delay summed over received data packets
+	DelaySamples  int64
+}
+
+// FCT returns the flow completion time, or 0 for unfinished flows.
+func (s *FlowStats) FCT() units.Time {
+	if !s.Done {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// MissedDeadline reports whether the flow had a deadline and failed it
+// (either finished late, or unfinished by time now).
+func (s *FlowStats) MissedDeadline(now units.Time) bool {
+	if s.Deadline == 0 {
+		return false
+	}
+	if s.Done {
+		return s.End > s.Deadline
+	}
+	return now > s.Deadline
+}
+
+// AvgPacketDelay returns the mean one-way delay of received data
+// packets, or 0 with no samples.
+func (s *FlowStats) AvgPacketDelay() units.Time {
+	if s.DelaySamples == 0 {
+		return 0
+	}
+	return s.SumPktDelay / units.Time(s.DelaySamples)
+}
+
+// DupAckRatio returns the receiver's duplicate-ACK count over packets
+// received — the reordering signal of the paper's Fig. 3b.
+func (s *FlowStats) DupAckRatio() float64 {
+	if s.PacketsRecv == 0 {
+		return 0
+	}
+	return float64(s.DupAcksSent) / float64(s.PacketsRecv)
+}

@@ -1,0 +1,122 @@
+// Package units defines the physical quantities used throughout the
+// simulator: simulated time, link bandwidth and data sizes.
+//
+// Simulated time is an int64 count of nanoseconds so that event ordering
+// is exact and free of floating-point drift. Bandwidth is bits per second.
+// Sizes are bytes. Helper functions convert between the three (e.g. the
+// serialization delay of a packet on a link).
+package units
+
+import "fmt"
+
+// Time is a point in (or duration of) simulated time, in nanoseconds.
+// It is intentionally distinct from time.Duration: simulated time never
+// interacts with the wall clock.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds returns t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros returns t as a floating-point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis returns t as a floating-point number of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// FromSeconds converts a float64 number of seconds to a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// String formats the time with an adaptive unit, e.g. "150µs" or "1.5ms".
+func (t Time) String() string {
+	switch {
+	case t == 0:
+		return "0s"
+	case t%Second == 0:
+		return fmt.Sprintf("%ds", t/Second)
+	case t >= Millisecond || t <= -Millisecond:
+		return fmt.Sprintf("%.3gms", t.Millis())
+	case t >= Microsecond || t <= -Microsecond:
+		return fmt.Sprintf("%.3gµs", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Bandwidth is a link rate in bits per second.
+type Bandwidth int64
+
+// Common rates.
+const (
+	BitPerSecond Bandwidth = 1
+	Kbps                   = 1000 * BitPerSecond
+	Mbps                   = 1000 * Kbps
+	Gbps                   = 1000 * Mbps
+)
+
+// TxTime returns the serialization delay of n bytes at bandwidth b.
+// It rounds up to the next nanosecond so that back-to-back packets
+// never overlap on the wire.
+func (b Bandwidth) TxTime(n Bytes) Time {
+	if b <= 0 {
+		panic("units: non-positive bandwidth")
+	}
+	bits := int64(n) * 8
+	// ceil(bits * 1e9 / b) without overflow for realistic values:
+	// bits < 2^40 for any packet/burst we model, 1e9 < 2^30.
+	return Time((bits*int64(Second) + int64(b) - 1) / int64(b))
+}
+
+// BytesPerSecond returns the bandwidth in bytes per second.
+func (b Bandwidth) BytesPerSecond() float64 { return float64(b) / 8 }
+
+// PacketsPerSecond returns how many packets of the given size the link
+// can serialize per second.
+func (b Bandwidth) PacketsPerSecond(pktBytes Bytes) float64 {
+	return b.BytesPerSecond() / float64(pktBytes)
+}
+
+// String formats the bandwidth with an adaptive unit.
+func (b Bandwidth) String() string {
+	switch {
+	case b >= Gbps && b%Gbps == 0:
+		return fmt.Sprintf("%dGbps", b/Gbps)
+	case b >= Mbps && b%Mbps == 0:
+		return fmt.Sprintf("%dMbps", b/Mbps)
+	case b >= Kbps && b%Kbps == 0:
+		return fmt.Sprintf("%dKbps", b/Kbps)
+	default:
+		return fmt.Sprintf("%dbps", int64(b))
+	}
+}
+
+// Bytes is a data size in bytes.
+type Bytes int64
+
+// Common sizes.
+const (
+	Byte Bytes = 1
+	KB         = 1000 * Byte
+	MB         = 1000 * KB
+	KiB        = 1024 * Byte
+	MiB        = 1024 * KiB
+)
+
+// String formats the size with an adaptive decimal unit.
+func (n Bytes) String() string {
+	switch {
+	case n >= MB && n%MB == 0:
+		return fmt.Sprintf("%dMB", n/MB)
+	case n >= KB && n%KB == 0:
+		return fmt.Sprintf("%dKB", n/KB)
+	default:
+		return fmt.Sprintf("%dB", int64(n))
+	}
+}

@@ -1,0 +1,107 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTxTime(t *testing.T) {
+	cases := []struct {
+		bw    Bandwidth
+		bytes Bytes
+		want  Time
+	}{
+		{Gbps, 1500, 12 * Microsecond},          // 12000ns exactly
+		{Gbps, 125, Microsecond},                // 1000 bits at 1e9 bps
+		{10 * Gbps, 1500, 1200 * Nanosecond},    //
+		{Mbps, 1500, 12 * Millisecond},          //
+		{20 * Mbps, 1500, 600 * Microsecond},    // testbed link
+		{8 * BitPerSecond, 1, Second},           // 8 bits at 8bps
+		{3 * BitPerSecond, 1, Time(2666666667)}, // rounds up
+	}
+	for _, c := range cases {
+		if got := c.bw.TxTime(c.bytes); got != c.want {
+			t.Errorf("TxTime(%v, %v) = %v, want %v", c.bw, c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestTxTimePanicsOnZeroBandwidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero bandwidth")
+		}
+	}()
+	Bandwidth(0).TxTime(100)
+}
+
+// TestTxTimeNeverUndershoots: serialization must take at least the
+// exact bits/rate time, or back-to-back packets would overlap.
+func TestTxTimeNeverUndershoots(t *testing.T) {
+	f := func(bwRaw uint32, szRaw uint16) bool {
+		bw := Bandwidth(bwRaw%1000000 + 1)
+		sz := Bytes(szRaw%9000 + 1)
+		got := bw.TxTime(sz)
+		// got must satisfy got*bw >= bits*Second (no undershoot) and
+		// (got-1)*bw < bits*Second (minimal).
+		bits := int64(sz) * 8
+		if int64(got)*int64(bw) < bits*int64(Second) {
+			return false
+		}
+		if int64(got-1)*int64(bw) >= bits*int64(Second) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPacketsPerSecond(t *testing.T) {
+	if pps := Gbps.PacketsPerSecond(1500); pps < 83333.3 || pps > 83333.4 {
+		t.Fatalf("1Gbps / 1500B = %v pps", pps)
+	}
+}
+
+func TestBytesPerSecond(t *testing.T) {
+	if bps := Gbps.BytesPerSecond(); bps != 125e6 {
+		t.Fatalf("1Gbps = %v B/s", bps)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Gbps.String(), "1Gbps"},
+		{(20 * Mbps).String(), "20Mbps"},
+		{(1500 * Kbps).String(), "1500Kbps"},
+		{Bandwidth(7).String(), "7bps"},
+		{(10 * MB).String(), "10MB"},
+		{(100 * KB).String(), "100KB"},
+		{Bytes(123).String(), "123B"},
+		{Time(0).String(), "0s"},
+		{Second.String(), "1s"},
+		{(100 * Microsecond).String(), "100µs"},
+		{(10 * Millisecond).String(), "10ms"},
+		{Time(42).String(), "42ns"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if (1500 * Microsecond).Millis() != 1.5 {
+		t.Fatal("Millis")
+	}
+	if (250 * Nanosecond).Micros() != 0.25 {
+		t.Fatal("Micros")
+	}
+	if FromSeconds(2.5) != 2500*Millisecond {
+		t.Fatal("FromSeconds")
+	}
+}

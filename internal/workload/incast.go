@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"fmt"
+
+	"tlb/internal/eventsim"
+	"tlb/internal/units"
+)
+
+// IncastConfig models the partition/aggregate pattern of the OLDI
+// applications the paper's introduction motivates (web search, social
+// networking): an aggregator fans a query out and all workers answer
+// at once, so bursts of short response flows converge on one receiver.
+// It is the classic stress test for the destination side of a fabric.
+type IncastConfig struct {
+	// Aggregator is the receiving host.
+	Aggregator int
+	// Workers are the responding hosts (the aggregator is skipped if
+	// it appears here).
+	Workers []int
+	// ResponseSize samples each worker's answer (often fixed, e.g.
+	// 32 KB per worker).
+	ResponseSize SizeDist
+	// Rounds is how many query rounds to generate.
+	Rounds int
+	// RoundInterval separates consecutive rounds (think one query per
+	// interval).
+	RoundInterval units.Time
+	// Jitter staggers the responses within a round (server think-time
+	// variance); 0 makes the burst perfectly synchronized.
+	Jitter units.Time
+	// Deadlines assigns per-response deadlines.
+	Deadlines DeadlineDist
+}
+
+// Generate materializes the incast rounds starting at start.
+func (c IncastConfig) Generate(rng *eventsim.RNG, start units.Time) ([]Flow, error) {
+	if len(c.Workers) == 0 {
+		return nil, fmt.Errorf("workload: incast needs workers")
+	}
+	if c.ResponseSize == nil {
+		return nil, fmt.Errorf("workload: incast needs a response size distribution")
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 1
+	}
+	if c.RoundInterval <= 0 {
+		c.RoundInterval = 10 * units.Millisecond
+	}
+	var flows []Flow
+	for r := 0; r < c.Rounds; r++ {
+		at := start + units.Time(r)*c.RoundInterval
+		for _, w := range c.Workers {
+			if w == c.Aggregator {
+				continue
+			}
+			t := at
+			if c.Jitter > 0 {
+				t += units.Time(rng.Intn(int(c.Jitter) + 1))
+			}
+			size := c.ResponseSize.Sample(rng)
+			f := Flow{Src: w, Dst: c.Aggregator, Size: size, Start: t}
+			if d := c.Deadlines.Sample(rng, size); d > 0 {
+				f.Deadline = t + d
+			}
+			flows = append(flows, f)
+		}
+	}
+	return flows, nil
+}
