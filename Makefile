@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test vet race bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The race target exercises the two packages that contain real
+# concurrency: the shared sweep runner (internal/sim) and the batched
+# figure runners that feed it (internal/experiments).
+race:
+	$(GO) test -race ./internal/sim ./internal/experiments
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# ci is the gate: static checks, the full test suite, and the race
+# detector over the concurrent packages.
+ci: build vet test race

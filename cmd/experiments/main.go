@@ -25,14 +25,15 @@ import (
 
 func main() {
 	var (
-		figs   = flag.String("fig", "all", "comma-separated experiment names, \"all\", or \"ablations\"")
-		list   = flag.Bool("list", false, "list available experiments and exit")
-		seed   = flag.Uint64("seed", 42, "root RNG seed (same seed = identical numbers)")
-		flows  = flag.Int("flows", 800, "flows per large-scale run (fig10-12)")
-		points = flag.Int("points", 0, "cap sweep points per figure (0 = figure default)")
-		quiet  = flag.Bool("q", false, "suppress progress logging")
-		timing = flag.Bool("time", false, "print wall-clock time per experiment")
-		format = flag.String("format", "plain", "output format: plain or csv")
+		figs    = flag.String("fig", "all", "comma-separated experiment names, \"all\", or \"ablations\"")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		seed    = flag.Uint64("seed", 42, "root RNG seed (same seed = identical numbers)")
+		flows   = flag.Int("flows", 800, "flows per large-scale run (fig10-12)")
+		points  = flag.Int("points", 0, "cap sweep points per figure (0 = figure default)")
+		workers = flag.Int("workers", 0, "concurrent simulations per sweep (0 = GOMAXPROCS); any value produces identical figures")
+		quiet   = flag.Bool("q", false, "suppress progress logging")
+		timing  = flag.Bool("time", false, "print wall-clock time per experiment")
+		format  = flag.String("format", "plain", "output format: plain or csv")
 	)
 	flag.Parse()
 
@@ -54,6 +55,7 @@ func main() {
 		Seed:        *seed,
 		FlowsPerRun: *flows,
 		SweepPoints: *points,
+		Workers:     *workers,
 	}
 	if !*quiet {
 		opt.Log = os.Stderr

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"tlb/internal/eventsim"
+	"tlb/internal/netem"
+	"tlb/internal/units"
+)
+
+// TestEvictionDoesNotPolluteShortSizeEstimate: idle-table evictions
+// remove flows whose size the switch never saw in full — folding their
+// partial byte counts into the X EWMA would bias q_th (Eq. 9)
+// downward. Only FIN-completed short flows may update the estimate.
+func TestEvictionDoesNotPolluteShortSizeEstimate(t *testing.T) {
+	s := eventsim.New()
+	tl, ports := newTLB(s, 4, func(c *Config) { c.EstimateShortSize = true })
+	before := tl.estShortSize
+
+	// A short flow sends a little and then stalls: no FIN ever arrives.
+	flow := netem.FlowID{Src: 1, Dst: 2}
+	for i := 0; i < 3; i++ {
+		tl.Pick(dataPkt(flow, 1460), ports)
+	}
+	s.RunUntil(3 * DefaultConfig().Interval) // idle sweep evicts it
+	if short, long := tl.ActiveFlows(); short != 0 || long != 0 {
+		t.Fatalf("flow not evicted: short=%d long=%d", short, long)
+	}
+	if tl.Stats().Evictions == 0 {
+		t.Fatal("no eviction recorded")
+	}
+	if tl.estShortSize != before {
+		t.Fatalf("idle eviction moved estShortSize %v -> %v", before, tl.estShortSize)
+	}
+
+	// A FIN-completed short flow must still update the EWMA.
+	done := netem.FlowID{Src: 3, Dst: 4}
+	tl.Pick(dataPkt(done, 1460), ports)
+	fin := dataPkt(done, 1460)
+	fin.FIN = true
+	tl.Pick(fin, ports)
+	if tl.estShortSize == before {
+		t.Fatal("FIN-completed flow did not update estShortSize")
+	}
+}
+
+// TestControlPacketsCountedSeparately: ACK/SYN-ACK routing is control
+// traffic, not a short-flow data decision, and lands in its own
+// counter (the Fig. 15a cost-breakdown fix).
+func TestControlPacketsCountedSeparately(t *testing.T) {
+	s := eventsim.New()
+	tl, ports := newTLB(s, 4, nil)
+	flow := netem.FlowID{Src: 1, Dst: 2}
+	tl.Pick(&netem.Packet{Flow: flow.Reversed(), Kind: netem.Ack, Wire: 40}, ports)
+	tl.Pick(&netem.Packet{Flow: flow.Reversed(), Kind: netem.SynAck, Wire: 40}, ports)
+	st := tl.Stats()
+	if st.ControlPackets != 2 {
+		t.Fatalf("ControlPackets = %d, want 2", st.ControlPackets)
+	}
+	if st.ShortPackets != 0 || st.LongPackets != 0 {
+		t.Fatalf("control traffic leaked into data counters: %+v", st)
+	}
+	// Control traffic must also stay out of the flow table.
+	if short, long := tl.ActiveFlows(); short != 0 || long != 0 {
+		t.Fatalf("control packets registered flows: short=%d long=%d", short, long)
+	}
+	// Data-direction packets still count by class.
+	tl.Pick(dataPkt(flow, units.Bytes(1460)), ports)
+	if st := tl.Stats(); st.ShortPackets != 1 {
+		t.Fatalf("ShortPackets = %d after one data packet, want 1", st.ShortPackets)
+	}
+}

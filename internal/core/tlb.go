@@ -166,9 +166,15 @@ func (c Config) withDefaults() Config {
 type Stats struct {
 	// Reroutes counts long-flow path switches (granularity events).
 	Reroutes int64
-	// ShortPackets / LongPackets count forwarding decisions by class.
-	ShortPackets int64
-	LongPackets  int64
+	// ShortPackets / LongPackets count forwarding decisions on
+	// data-direction packets by flow class; ControlPackets counts
+	// header-only reverse traffic (pure ACKs, SYN-ACKs) routed
+	// statelessly — kept separate so the Fig. 15a per-packet-cost
+	// breakdown does not conflate control routing with short-flow
+	// data decisions.
+	ShortPackets   int64
+	LongPackets    int64
+	ControlPackets int64
 	// Updates counts q_th recomputations.
 	Updates int64
 	// Evictions counts idle flow-table removals.
@@ -268,7 +274,7 @@ func (t *TLB) Pick(pkt *netem.Packet, ports []*netem.Port) int {
 	// direction, and an ACK stream is not a flow competing for path
 	// capacity.
 	if pkt.Kind == netem.Ack || pkt.Kind == netem.SynAck {
-		t.stats.ShortPackets++
+		t.stats.ControlPackets++
 		return lb.LowestDelay(t.rng, ports)
 	}
 	now := t.sim.Now()
@@ -318,7 +324,7 @@ func (t *TLB) Pick(pkt *netem.Packet, ports []*netem.Port) int {
 		e.lastETA = eta
 	}
 	if pkt.FIN {
-		t.remove(pkt.Flow, e)
+		t.remove(pkt.Flow, e, true)
 	}
 	return port
 }
@@ -411,7 +417,11 @@ func (t *TLB) leastLongPort() int {
 	return best
 }
 
-func (t *TLB) remove(id netem.FlowID, e *flowEntry) {
+// remove drops a flow-table entry. completed says the flow ended with
+// a FIN; idle evictions pass false so that the partial byte counts of
+// stalled or dead flows do not bias the short-size estimate X (and
+// through it q_th, Eq. 9) downward.
+func (t *TLB) remove(id netem.FlowID, e *flowEntry, completed bool) {
 	if e.long {
 		t.nLong--
 		if e.hasPort {
@@ -419,7 +429,7 @@ func (t *TLB) remove(id netem.FlowID, e *flowEntry) {
 		}
 	} else {
 		t.nShort--
-		if t.cfg.EstimateShortSize && e.bytes > 0 {
+		if completed && t.cfg.EstimateShortSize && e.bytes > 0 {
 			// EWMA of completed short-flow sizes (g = 1/8).
 			t.estShortSize = 0.875*t.estShortSize + 0.125*float64(e.bytes)
 		}
@@ -434,7 +444,7 @@ func (t *TLB) tick() {
 	for id, e := range t.flows {
 		if now-e.lastSeen >= t.cfg.Interval {
 			t.stats.Evictions++
-			t.remove(id, e)
+			t.remove(id, e, false)
 		}
 	}
 	t.qth = t.computeQTh()

@@ -23,17 +23,44 @@ func ablationEnv(o Options) largeEnv {
 	return newLargeEnv(websearchSizes(), o.FlowsPerRun)
 }
 
-// ablationPoint runs one TLB variant and returns (AFCT seconds,
-// long goodput Gbps, deadline miss fraction).
-func ablationPoint(o Options, env largeEnv, name string, f lb.Factory) (float64, float64, float64, error) {
-	res, err := env.run(name, f, ablationLoad, o.Seed)
-	if err != nil {
-		return 0, 0, 0, err
+// ablationVariant is one bar or sweep point of an ablation: a named
+// balancer configuration in its own environment.
+type ablationVariant struct {
+	name string
+	env  largeEnv
+	f    lb.Factory
+}
+
+// ablationMetrics is the (short AFCT s, long goodput Gbps, deadline
+// miss fraction) triple every ablation reduces to.
+type ablationMetrics struct {
+	afct, tput, miss float64
+}
+
+// runAblation executes the variants as one batch on the shared runner
+// and returns their metrics in input order.
+func runAblation(o Options, label string, variants []ablationVariant) ([]ablationMetrics, error) {
+	scs := make([]sim.Scenario, len(variants))
+	for i, v := range variants {
+		sc, err := v.env.scenario(Scheme{Name: v.name, Factory: v.f}, ablationLoad, o.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s %s: %w", label, v.name, err)
+		}
+		scs[i] = sc
 	}
-	return res.AFCT(sim.ShortFlows).Seconds(),
-		float64(res.Goodput(sim.LongFlows)) / 1e9,
-		res.DeadlineMissRatio(sim.ShortFlows),
-		nil
+	results, err := o.runBatch(label, scs)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", label, err)
+	}
+	out := make([]ablationMetrics, len(results))
+	for i, res := range results {
+		out[i] = ablationMetrics{
+			afct: res.AFCT(sim.ShortFlows).Seconds(),
+			tput: float64(res.Goodput(sim.LongFlows)) / 1e9,
+			miss: res.DeadlineMissRatio(sim.ShortFlows),
+		}
+	}
+	return out, nil
 }
 
 func ablationFigure(id, title, xlabel string) (Figure, Figure) {
@@ -44,19 +71,23 @@ func ablationFigure(id, title, xlabel string) (Figure, Figure) {
 // AblationInterval sweeps the q_th update interval t.
 func AblationInterval(o Options) ([]Figure, error) {
 	afct, tput := ablationFigure("ablation-interval", "TLB update interval", "interval (µs)")
-	sa := stats.Series{Name: "tlb"}
-	st := stats.Series{Name: "tlb"}
-	for _, us := range trim(o, []float64{125, 250, 500, 1000, 2000}) {
+	grid := trim(o, []float64{125, 250, 500, 1000, 2000})
+	variants := make([]ablationVariant, len(grid))
+	for i, us := range grid {
 		env := ablationEnv(o)
 		cfg := env.tlbConfig(0)
 		cfg.Interval = units.Time(us) * units.Microsecond
-		o.logf("ablation-interval: t=%vµs", us)
-		a, g, _, err := ablationPoint(o, env, fmt.Sprintf("tlb-t%v", us), tlbFactory(cfg))
-		if err != nil {
-			return nil, err
-		}
-		sa.Add(us, a)
-		st.Add(us, g)
+		variants[i] = ablationVariant{fmt.Sprintf("tlb-t%v", us), env, tlbFactory(cfg)}
+	}
+	ms, err := runAblation(o, "ablation-interval", variants)
+	if err != nil {
+		return nil, err
+	}
+	sa := stats.Series{Name: "tlb"}
+	st := stats.Series{Name: "tlb"}
+	for i, us := range grid {
+		sa.Add(us, ms[i].afct)
+		st.Add(us, ms[i].tput)
 	}
 	afct.Series = []stats.Series{sa}
 	tput.Series = []stats.Series{st}
@@ -66,22 +97,47 @@ func AblationInterval(o Options) ([]Figure, error) {
 // AblationThreshold sweeps the short/long classification boundary.
 func AblationThreshold(o Options) ([]Figure, error) {
 	afct, tput := ablationFigure("ablation-threshold", "Short/long classification threshold", "threshold (KB)")
-	sa := stats.Series{Name: "tlb"}
-	st := stats.Series{Name: "tlb"}
-	for _, kb := range trim(o, []float64{25, 50, 100, 200, 400}) {
+	grid := trim(o, []float64{25, 50, 100, 200, 400})
+	variants := make([]ablationVariant, len(grid))
+	for i, kb := range grid {
 		env := ablationEnv(o)
 		cfg := env.tlbConfig(0)
 		cfg.ShortThreshold = units.Bytes(kb) * units.KB
-		o.logf("ablation-threshold: %vKB", kb)
-		a, g, _, err := ablationPoint(o, env, fmt.Sprintf("tlb-th%v", kb), tlbFactory(cfg))
-		if err != nil {
-			return nil, err
-		}
-		sa.Add(kb, a)
-		st.Add(kb, g)
+		variants[i] = ablationVariant{fmt.Sprintf("tlb-th%v", kb), env, tlbFactory(cfg)}
+	}
+	ms, err := runAblation(o, "ablation-threshold", variants)
+	if err != nil {
+		return nil, err
+	}
+	sa := stats.Series{Name: "tlb"}
+	st := stats.Series{Name: "tlb"}
+	for i, kb := range grid {
+		sa.Add(kb, ms[i].afct)
+		st.Add(kb, ms[i].tput)
 	}
 	afct.Series = []stats.Series{sa}
 	tput.Series = []stats.Series{st}
+	return []Figure{afct, tput}, nil
+}
+
+// barAblation runs a bar-chart ablation: one named TLB config mutation
+// per bar.
+func barAblation(o Options, label string, afct, tput Figure, names []string, mut func(name string, c *core.Config)) ([]Figure, error) {
+	variants := make([]ablationVariant, len(names))
+	for i, name := range names {
+		env := ablationEnv(o)
+		cfg := env.tlbConfig(0)
+		mut(name, &cfg)
+		variants[i] = ablationVariant{"tlb-" + name, env, tlbFactory(cfg)}
+	}
+	ms, err := runAblation(o, label, variants)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		afct.Bars = append(afct.Bars, Bar{name, ms[i].afct})
+		tput.Bars = append(tput.Bars, Bar{name, ms[i].tput})
+	}
 	return []Figure{afct, tput}, nil
 }
 
@@ -93,29 +149,13 @@ func AblationFixedGranularity(o Options) ([]Figure, error) {
 		YLabel: "AFCT (s)"}
 	tput := Figure{ID: "ablation-fixed-tput", Title: "Adaptive vs fixed q_th (long goodput)",
 		YLabel: "Gbps"}
-	variants := []struct {
-		name  string
-		fixed int
-	}{
-		{"adaptive", -1},
-		{"fixed-0", 0},
-		{"fixed-16", 16},
-		{"fixed-64", 64},
-		{"fixed-256", 256},
+	fixed := map[string]int{
+		"adaptive": -1, "fixed-0": 0, "fixed-16": 16, "fixed-64": 64, "fixed-256": 256,
 	}
-	for _, v := range variants {
-		env := ablationEnv(o)
-		cfg := env.tlbConfig(0)
-		cfg.FixedQTh = v.fixed
-		o.logf("ablation-fixed: %s", v.name)
-		a, g, _, err := ablationPoint(o, env, "tlb-"+v.name, tlbFactory(cfg))
-		if err != nil {
-			return nil, err
-		}
-		afct.Bars = append(afct.Bars, Bar{v.name, a})
-		tput.Bars = append(tput.Bars, Bar{v.name, g})
-	}
-	return []Figure{afct, tput}, nil
+	names := []string{"adaptive", "fixed-0", "fixed-16", "fixed-64", "fixed-256"}
+	return barAblation(o, "ablation-fixed", afct, tput, names, func(name string, c *core.Config) {
+		c.FixedQTh = fixed[name]
+	})
 }
 
 // AblationShortPolicy swaps the short-flow per-packet policy: global
@@ -126,27 +166,15 @@ func AblationShortPolicy(o Options) ([]Figure, error) {
 		YLabel: "AFCT (s)"}
 	tput := Figure{ID: "ablation-shortpolicy-tput", Title: "Short-flow path policy (long goodput)",
 		YLabel: "Gbps"}
-	policies := []struct {
-		name string
-		pick core.ShortPolicy
-	}{
-		{"shortest-queue", core.ShortShortestQueue},
-		{"po2c", core.ShortPowerOfTwo},
-		{"random", core.ShortRandom},
+	policies := map[string]core.ShortPolicy{
+		"shortest-queue": core.ShortShortestQueue,
+		"po2c":           core.ShortPowerOfTwo,
+		"random":         core.ShortRandom,
 	}
-	for _, p := range policies {
-		env := ablationEnv(o)
-		cfg := env.tlbConfig(0)
-		cfg.ShortFlowPolicy = p.pick
-		o.logf("ablation-shortpolicy: %s", p.name)
-		a, g, _, err := ablationPoint(o, env, "tlb-"+p.name, tlbFactory(cfg))
-		if err != nil {
-			return nil, err
-		}
-		afct.Bars = append(afct.Bars, Bar{p.name, a})
-		tput.Bars = append(tput.Bars, Bar{p.name, g})
-	}
-	return []Figure{afct, tput}, nil
+	names := []string{"shortest-queue", "po2c", "random"}
+	return barAblation(o, "ablation-shortpolicy", afct, tput, names, func(name string, c *core.Config) {
+		c.ShortFlowPolicy = policies[name]
+	})
 }
 
 // AblationSafeSwitch quantifies deviation #2 of DESIGN.md: the
@@ -156,28 +184,18 @@ func AblationSafeSwitch(o Options) ([]Figure, error) {
 		YLabel: "AFCT (s)"}
 	tput := Figure{ID: "ablation-safeswitch-tput", Title: "Reorder-safe switching (long goodput)",
 		YLabel: "Gbps"}
-	variants := []struct {
-		name string
-		mut  func(*core.Config)
-	}{
-		{"guarded", func(c *core.Config) {}},
-		{"no-guard", func(c *core.Config) { c.DisableSafeSwitch = true }},
-		{"no-hysteresis", func(c *core.Config) { c.ShortHysteresis = 0 }},
-		{"neither", func(c *core.Config) { c.DisableSafeSwitch = true; c.ShortHysteresis = 0 }},
-	}
-	for _, v := range variants {
-		env := ablationEnv(o)
-		cfg := env.tlbConfig(0)
-		v.mut(&cfg)
-		o.logf("ablation-safeswitch: %s", v.name)
-		a, g, _, err := ablationPoint(o, env, "tlb-"+v.name, tlbFactory(cfg))
-		if err != nil {
-			return nil, err
+	names := []string{"guarded", "no-guard", "no-hysteresis", "neither"}
+	return barAblation(o, "ablation-safeswitch", afct, tput, names, func(name string, c *core.Config) {
+		switch name {
+		case "no-guard":
+			c.DisableSafeSwitch = true
+		case "no-hysteresis":
+			c.ShortHysteresis = 0
+		case "neither":
+			c.DisableSafeSwitch = true
+			c.ShortHysteresis = 0
 		}
-		afct.Bars = append(afct.Bars, Bar{v.name, a})
-		tput.Bars = append(tput.Bars, Bar{v.name, g})
-	}
-	return []Figure{afct, tput}, nil
+	})
 }
 
 // AblationDemandCap quantifies deviation #3: Eq. 1's long-flow demand
@@ -187,24 +205,10 @@ func AblationDemandCap(o Options) ([]Figure, error) {
 		YLabel: "AFCT (s)"}
 	tput := Figure{ID: "ablation-demandcap-tput", Title: "Eq.1 demand cap (long goodput)",
 		YLabel: "Gbps"}
-	variants := []struct {
-		name string
-		mut  func(*core.Config)
-	}{
-		{"capped", func(c *core.Config) {}},
-		{"paper-literal", func(c *core.Config) { c.UncappedLongDemand = true }},
-	}
-	for _, v := range variants {
-		env := ablationEnv(o)
-		cfg := env.tlbConfig(0)
-		v.mut(&cfg)
-		o.logf("ablation-demandcap: %s", v.name)
-		a, g, _, err := ablationPoint(o, env, "tlb-"+v.name, tlbFactory(cfg))
-		if err != nil {
-			return nil, err
+	names := []string{"capped", "paper-literal"}
+	return barAblation(o, "ablation-demandcap", afct, tput, names, func(name string, c *core.Config) {
+		if name == "paper-literal" {
+			c.UncappedLongDemand = true
 		}
-		afct.Bars = append(afct.Bars, Bar{v.name, a})
-		tput.Bars = append(tput.Bars, Bar{v.name, g})
-	}
-	return []Figure{afct, tput}, nil
+	})
 }

@@ -14,6 +14,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"tlb/internal/core"
 	"tlb/internal/eventsim"
@@ -38,6 +39,11 @@ type Options struct {
 	// SweepPoints caps the number of x-axis points per sweep; 0 keeps
 	// each figure's default grid.
 	SweepPoints int
+	// Workers caps how many scenarios the shared sweep runner executes
+	// concurrently; 0 means runtime.GOMAXPROCS(0). Any worker count
+	// produces byte-identical figures: scenarios own their seeds, and
+	// results are reduced in input order.
+	Workers int
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -57,6 +63,25 @@ func (o Options) logf(format string, args ...any) {
 	if o.Log != nil {
 		fmt.Fprintf(o.Log, format+"\n", args...)
 	}
+}
+
+// runBatch submits one experiment's scenario batch to the shared
+// concurrent runner (sim.RunSweep) and returns the results in input
+// order. Progress lines ("prefix: [k/n] name (elapsed)") go to o.Log
+// as scenarios finish, so long sweeps stay visible.
+func (o Options) runBatch(prefix string, scs []sim.Scenario) ([]*sim.Result, error) {
+	return sim.RunSweep(scs, sim.SweepOptions{
+		Workers: o.Workers,
+		Progress: func(p sim.SweepProgress) {
+			if p.Err != nil {
+				o.logf("%s: [%d/%d] %s FAILED after %v: %v",
+					prefix, p.Completed, p.Total, p.Scenario, p.Elapsed.Round(time.Millisecond), p.Err)
+				return
+			}
+			o.logf("%s: [%d/%d] %s (%v)",
+				prefix, p.Completed, p.Total, p.Scenario, p.Elapsed.Round(time.Millisecond))
+		},
+	})
 }
 
 // trim reduces a sweep grid to at most o.SweepPoints entries, keeping
@@ -225,8 +250,11 @@ func (e basicEnv) tlbConfig() core.Config {
 	return cfg
 }
 
-// run executes one scenario in this environment.
-func (e basicEnv) run(name string, f lb.Factory, seed uint64, mut func(*sim.Scenario)) (*sim.Result, error) {
+// scenario builds (but does not run) one scenario in this
+// environment, for submission to the shared sweep runner. Each call
+// generates its own flow slice, so batched scenarios share no mutable
+// state.
+func (e basicEnv) scenario(name string, f lb.Factory, seed uint64, mut func(*sim.Scenario)) sim.Scenario {
 	sc := sim.Scenario{
 		Name:         name,
 		Topology:     e.topo,
@@ -241,7 +269,7 @@ func (e basicEnv) run(name string, f lb.Factory, seed uint64, mut func(*sim.Scen
 	if mut != nil {
 		mut(&sc)
 	}
-	return sim.Run(sc)
+	return sc
 }
 
 // ---- Large-scale environment (§6.2) ----
@@ -305,18 +333,15 @@ func (e largeEnv) tlbConfig(deadline units.Time) core.Config {
 	return cfg
 }
 
-func (e largeEnv) run(name string, f lb.Factory, load float64, seed uint64) (*sim.Result, error) {
-	return e.runScheme(Scheme{Name: name, Factory: f}, load, seed)
-}
-
-// runScheme executes one scheme (with its optional end-host
-// replication) at one load point.
-func (e largeEnv) runScheme(s Scheme, load float64, seed uint64) (*sim.Result, error) {
+// scenario builds one scheme's run (with its optional end-host
+// replication) at one load point, for submission to the shared sweep
+// runner.
+func (e largeEnv) scenario(s Scheme, load float64, seed uint64) (sim.Scenario, error) {
 	flows, err := e.flows(load, seed+1)
 	if err != nil {
-		return nil, err
+		return sim.Scenario{}, err
 	}
-	return sim.Run(sim.Scenario{
+	return sim.Scenario{
 		Name:         fmt.Sprintf("%s-load%.1f", s.Name, load),
 		Topology:     e.topo,
 		Transport:    e.transport,
@@ -327,7 +352,7 @@ func (e largeEnv) runScheme(s Scheme, load float64, seed uint64) (*sim.Result, e
 		Replication:  s.Replication,
 		StopWhenDone: true,
 		MaxTime:      60 * units.Second,
-	})
+	}, nil
 }
 
 func newRNG(seed uint64) *eventsim.RNG { return eventsim.NewRNG(seed) }

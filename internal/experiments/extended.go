@@ -64,9 +64,9 @@ func ExtendedAsymmetric(o Options) ([]Figure, error) {
 		{Name: "letflow", Factory: lb.LetFlow(testbedFlowletGap)},
 		{Name: "tlb", Factory: tlbFactory(env.tlbConfig())},
 	}
-	for _, s := range schemes {
-		o.logf("extended-asym: %s", s.Name)
-		res, err := sim.Run(sim.Scenario{
+	scs := make([]sim.Scenario, len(schemes))
+	for i, s := range schemes {
+		scs[i] = sim.Scenario{
 			Name:         "extended-asym-" + s.Name,
 			Topology:     env.topo,
 			Transport:    env.transport,
@@ -76,10 +76,14 @@ func ExtendedAsymmetric(o Options) ([]Figure, error) {
 			Flows:        env.flows(o.Seed + 1),
 			StopWhenDone: true,
 			MaxTime:      300 * units.Second,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("extended-asym %s: %w", s.Name, err)
 		}
+	}
+	results, err := o.runBatch("extended-asym", scs)
+	if err != nil {
+		return nil, fmt.Errorf("extended-asym: %w", err)
+	}
+	for i, s := range schemes {
+		res := results[i]
 		afct.Bars = append(afct.Bars, Bar{s.Name, res.AFCT(sim.ShortFlows).Seconds()})
 		tput.Bars = append(tput.Bars, Bar{s.Name, float64(res.Goodput(sim.LongFlows)) / 1e6})
 	}

@@ -54,19 +54,34 @@ func (p *fourPanels) figures() []Figure {
 }
 
 // largeSweep runs the scheme set over the load grid in the given
-// environment.
+// environment: the whole (load x scheme) grid is built as one scenario
+// batch, submitted to the shared runner, and reduced in input order —
+// so the resulting figures are identical at any worker count.
 func largeSweep(o Options, env largeEnv, schemes []Scheme, prefix, workloadName string) ([]Figure, error) {
 	panels := newFourPanels(prefix, workloadName)
 	loads := trim(o, loadGrid)
+	type point struct {
+		scheme string
+		load   float64
+	}
+	pts := make([]point, 0, len(loads)*len(schemes))
+	scs := make([]sim.Scenario, 0, len(loads)*len(schemes))
 	for _, load := range loads {
 		for _, s := range schemes {
-			o.logf("%s: %s at load %.1f", prefix, s.Name, load)
-			res, err := env.runScheme(s, load, o.Seed)
+			sc, err := env.scenario(s, load, o.Seed)
 			if err != nil {
 				return nil, fmt.Errorf("%s %s load %.1f: %w", prefix, s.Name, load, err)
 			}
-			panels.addPoint(s.Name, load, res)
+			pts = append(pts, point{s.Name, load})
+			scs = append(scs, sc)
 		}
+	}
+	results, err := o.runBatch(prefix, scs)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", prefix, err)
+	}
+	for i, res := range results {
+		panels.addPoint(pts[i].scheme, pts[i].load, res)
 	}
 	return panels.figures(), nil
 }

@@ -45,73 +45,115 @@ func (e fig7Env) modelParams() model.Params {
 	}
 }
 
-// simulatedMinQTh searches for the smallest fixed switching threshold
-// under which the run misses no short-flow deadlines — the empirical
-// counterpart of Eq. 9. The search is a binary search over [0, buffer]
-// exploiting that more stickiness (larger q_th) only helps shorts.
-func (e fig7Env) simulatedMinQTh(o Options, seed uint64) (int, error) {
-	missesAt := func(qth int) (float64, error) {
-		cfg := e.tlbConfig()
-		cfg.FixedQTh = qth
-		cfg.Deadline = e.deadline
-		res, err := e.run(fmt.Sprintf("fig7-q%d", qth), tlbFactory(cfg), seed, func(sc *sim.Scenario) {
-			// Override deadlines to the fixed model deadline D so the
-			// measurement matches the model's question ("do shorts
-			// finish within D").
-			for i := range sc.Flows {
-				if sc.Flows[i].Size <= 100*units.KB {
-					sc.Flows[i].Deadline = sc.Flows[i].Start + e.deadline
-				} else {
-					sc.Flows[i].Deadline = 0
-				}
+// qthScenario builds the run measuring the short-flow deadline-miss
+// ratio under a fixed switching threshold qth. label keys the scenario
+// to its sweep point for progress lines and error reports.
+func (e fig7Env) qthScenario(label string, qth int, seed uint64) sim.Scenario {
+	cfg := e.tlbConfig()
+	cfg.FixedQTh = qth
+	cfg.Deadline = e.deadline
+	return e.scenario(fmt.Sprintf("%s-q%d", label, qth), tlbFactory(cfg), seed, func(sc *sim.Scenario) {
+		// Override deadlines to the fixed model deadline D so the
+		// measurement matches the model's question ("do shorts
+		// finish within D").
+		for i := range sc.Flows {
+			if sc.Flows[i].Size <= 100*units.KB {
+				sc.Flows[i].Deadline = sc.Flows[i].Start + e.deadline
+			} else {
+				sc.Flows[i].Deadline = 0
 			}
-		})
-		if err != nil {
-			return 0, err
 		}
-		return res.DeadlineMissRatio(sim.ShortFlows), nil
-	}
-
-	max := e.topo.Queue.Capacity
-	// Tolerate a small residual miss ratio: a handful of unlucky
-	// flows (hash collisions on the reverse path, ACK losses) would
-	// otherwise absorb the whole search range.
-	const tol = 0.02
-	mAtMax, err := missesAt(max)
-	if err != nil {
-		return 0, err
-	}
-	if mAtMax > tol {
-		return max, nil // even full stickiness cannot meet D
-	}
-	lo, hi := 0, max // invariant: hi satisfies, lo-1 unknown/fails
-	m0, err := missesAt(0)
-	if err != nil {
-		return 0, err
-	}
-	if m0 <= tol {
-		return 0, nil
-	}
-	for lo+1 < hi {
-		mid := (lo + hi) / 2
-		m, err := missesAt(mid)
-		if err != nil {
-			return 0, err
-		}
-		o.logf("fig7: qth=%d miss=%.3f", mid, m)
-		if m <= tol {
-			hi = mid
-		} else {
-			lo = mid
-		}
-	}
-	return hi, nil
+	})
 }
+
+// qthSearchTol is the residual miss ratio the search tolerates: a
+// handful of unlucky flows (hash collisions on the reverse path, ACK
+// losses) would otherwise absorb the whole search range.
+const qthSearchTol = 0.02
+
+// qthSearch finds the smallest fixed switching threshold under which a
+// run misses (almost) no short-flow deadlines — the empirical
+// counterpart of Eq. 9, a binary search over [0, buffer] exploiting
+// that more stickiness (larger q_th) only helps shorts.
+//
+// The search is expressed as a state machine (propose next probe,
+// observe its miss ratio) so that Fig7 can run all sweep points'
+// searches in lockstep rounds through the shared sweep runner: each
+// search's probe sequence is exactly the serial binary search's, so
+// batched and serial execution produce identical thresholds — only
+// independent searches overlap in time.
+type qthSearch struct {
+	env   fig7Env
+	label string
+	seed  uint64
+
+	phase   int // 0: probe max; 1: probe 0; 2: bisect; 3: done
+	lo, hi  int
+	probe   int // the pending threshold when phase < 3
+	result  int
+	verbose func(format string, args ...any)
+}
+
+func newQthSearch(env fig7Env, label string, seed uint64, verbose func(string, ...any)) *qthSearch {
+	return &qthSearch{
+		env: env, label: label, seed: seed,
+		probe: env.topo.Queue.Capacity, verbose: verbose,
+	}
+}
+
+func (q *qthSearch) done() bool { return q.phase == 3 }
+
+// scenario returns the run for the pending probe.
+func (q *qthSearch) scenario() sim.Scenario {
+	return q.env.qthScenario(q.label, q.probe, q.seed)
+}
+
+// observe consumes the pending probe's miss ratio and advances the
+// search.
+func (q *qthSearch) observe(miss float64) {
+	max := q.env.topo.Queue.Capacity
+	switch q.phase {
+	case 0: // full stickiness
+		if miss > qthSearchTol {
+			q.finish(max) // even full stickiness cannot meet D
+			return
+		}
+		q.phase, q.probe = 1, 0
+	case 1: // no stickiness
+		if miss <= qthSearchTol {
+			q.finish(0)
+			return
+		}
+		// Invariant: hi satisfies, lo fails.
+		q.lo, q.hi = 0, max
+		q.bisect()
+	case 2:
+		q.verbose("fig7 %s: qth=%d miss=%.3f", q.label, q.probe, miss)
+		if miss <= qthSearchTol {
+			q.hi = q.probe
+		} else {
+			q.lo = q.probe
+		}
+		q.bisect()
+	}
+}
+
+func (q *qthSearch) bisect() {
+	if q.lo+1 >= q.hi {
+		q.finish(q.hi)
+		return
+	}
+	q.phase, q.probe = 2, (q.lo+q.hi)/2
+}
+
+func (q *qthSearch) finish(result int) { q.result, q.phase = result, 3 }
 
 // Fig7 reproduces the §4.2 model verification: the minimum switching
 // threshold q_th, numeric (Eq. 9) versus simulated, swept over the
 // number of short flows (7a), long flows (7b), paths (7c) and the
-// deadline (7d).
+// deadline (7d). All sweep points' threshold searches advance in
+// lockstep: each round batches every active search's next probe
+// through the shared runner.
 func Fig7(o Options) ([]Figure, error) {
 	defaultDeadline := 10 * units.Millisecond
 
@@ -137,29 +179,67 @@ func Fig7(o Options) ([]Figure, error) {
 			}},
 	}
 
-	var figs []Figure
-	for _, sw := range sweeps {
-		xs := trim(o, sw.xs)
-		numeric := stats.Series{Name: "model"}
-		simulated := stats.Series{Name: "simulation"}
-		for _, x := range xs {
+	// One search per (sweep, x) point, plus the numeric curve computed
+	// up front.
+	type point struct {
+		sweepIdx int
+		x        float64
+		search   *qthSearch
+	}
+	var points []point
+	numeric := make([]stats.Series, len(sweeps))
+	for si, sw := range sweeps {
+		numeric[si] = stats.Series{Name: "model"}
+		for _, x := range trim(o, sw.xs) {
 			env := sw.env(x)
 			q := env.modelParams().QTh()
 			if math.IsInf(q, 1) {
 				q = float64(env.topo.Queue.Capacity)
 			}
-			numeric.Add(x, q)
-			o.logf("fig7 %s: x=%v model=%.1f, searching simulation...", sw.id, x, q)
-			sq, err := env.simulatedMinQTh(o, o.Seed)
-			if err != nil {
-				return nil, fmt.Errorf("%s at %v: %w", sw.id, x, err)
+			numeric[si].Add(x, q)
+			label := fmt.Sprintf("%s-x%v", sw.id, x)
+			points = append(points, point{
+				sweepIdx: si, x: x,
+				search: newQthSearch(env, label, o.Seed, o.logf),
+			})
+		}
+	}
+
+	// Lockstep rounds: batch every active search's pending probe.
+	for round := 1; ; round++ {
+		var scs []sim.Scenario
+		var owner []int // batch position -> points index
+		for pi := range points {
+			if !points[pi].search.done() {
+				scs = append(scs, points[pi].search.scenario())
+				owner = append(owner, pi)
 			}
-			simulated.Add(x, float64(sq))
+		}
+		if len(scs) == 0 {
+			break
+		}
+		o.logf("fig7: search round %d, %d active probes", round, len(scs))
+		results, err := o.runBatch("fig7", scs)
+		if err != nil {
+			return nil, fmt.Errorf("fig7: %w", err)
+		}
+		for k, res := range results {
+			points[owner[k]].search.observe(res.DeadlineMissRatio(sim.ShortFlows))
+		}
+	}
+
+	var figs []Figure
+	for si, sw := range sweeps {
+		simulated := stats.Series{Name: "simulation"}
+		for _, p := range points {
+			if p.sweepIdx == si {
+				simulated.Add(p.x, float64(p.search.result))
+			}
 		}
 		figs = append(figs, Figure{
 			ID: sw.id, Title: sw.title, XLabel: sw.xlabel,
 			YLabel: "min q_th (packets)",
-			Series: []stats.Series{numeric, simulated},
+			Series: []stats.Series{numeric[si], simulated},
 		})
 	}
 	return figs, nil

@@ -42,14 +42,18 @@ func Fig3And4(o Options) ([]Figure, error) {
 	tput := Figure{ID: "fig4c", Title: "Mean long-flow throughput",
 		YLabel: "fraction of link capacity"}
 
-	for _, g := range granularities {
-		o.logf("fig3/4: running %s-level granularity", g.Name)
-		res, err := env.run(g.Name, g.Factory, o.Seed, func(sc *sim.Scenario) {
+	scs := make([]sim.Scenario, len(granularities))
+	for i, g := range granularities {
+		scs[i] = env.scenario(g.Name, g.Factory, o.Seed, func(sc *sim.Scenario) {
 			sc.SampleShortPackets = true
 		})
-		if err != nil {
-			return nil, fmt.Errorf("fig3/4 %s: %w", g.Name, err)
-		}
+	}
+	results, err := o.runBatch("fig3/4", scs)
+	if err != nil {
+		return nil, fmt.Errorf("fig3/4: %w", err)
+	}
+	for i, g := range granularities {
+		res := results[i]
 		if res.CompletedCount(sim.AllFlows) < len(res.Flows) {
 			o.logf("fig3/4: %s left %d flows unfinished at %v", g.Name,
 				len(res.Flows)-res.CompletedCount(sim.AllFlows), res.EndTime)
@@ -100,15 +104,19 @@ func Fig8And9(o Options) ([]Figure, error) {
 	summary := Figure{ID: "fig8-9-summary", Title: "Basic test summary (whole run)",
 		YLabel: "scheme: shortOOO shortQueueDelay(µs) longOOO longGoodput(Gbps)"}
 
-	for _, s := range schemes {
-		o.logf("fig8/9: running %s", s.Name)
-		res, err := env.run(s.Name, s.Factory, o.Seed, func(sc *sim.Scenario) {
+	scs := make([]sim.Scenario, len(schemes))
+	for i, s := range schemes {
+		scs[i] = env.scenario(s.Name, s.Factory, o.Seed, func(sc *sim.Scenario) {
 			sc.CollectTimeSeries = true
 			sc.TimeBucket = 2 * units.Millisecond
 		})
-		if err != nil {
-			return nil, fmt.Errorf("fig8/9 %s: %w", s.Name, err)
-		}
+	}
+	results, err := o.runBatch("fig8/9", scs)
+	if err != nil {
+		return nil, fmt.Errorf("fig8/9: %w", err)
+	}
+	for i, s := range schemes {
+		res := results[i]
 		shortOOO.Series = append(shortOOO.Series, stats.Series{
 			Name: s.Name, Points: res.ShortOOORatio.Means(),
 		})

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"time"
 
+	"tlb/internal/core"
 	"tlb/internal/eventsim"
 	"tlb/internal/netem"
 	"tlb/internal/units"
@@ -41,12 +42,22 @@ func Fig15(o Options) ([]Figure, error) {
 	const flows = 1000
 	for _, s := range schemes {
 		bal := s.Factory(sim, rng.Split(), ports)
-		pkts := make([]*netem.Packet, flows)
-		for i := range pkts {
-			pkts[i] = &netem.Packet{
-				Flow:    netem.FlowID{Src: i % 97, Dst: 100 + i%89, Port: i},
-				Kind:    netem.Data,
-				Payload: 1460, Wire: 1500,
+		// The warm mix is what a leaf switch actually balances: every
+		// flow's data direction plus the reverse-direction pure-ACK
+		// stream of every fourth flow. The ACKs matter for fig15b: they
+		// never carry FIN, so a scheme that gives them flow-table
+		// entries (the Presto/LetFlow leak this repo fixed) shows the
+		// leaked state here.
+		pkts := make([]*netem.Packet, 0, flows+flows/4)
+		for i := 0; i < flows; i++ {
+			flow := netem.FlowID{Src: i % 97, Dst: 100 + i%89, Port: i}
+			pkts = append(pkts, &netem.Packet{
+				Flow: flow, Kind: netem.Data, Payload: 1460, Wire: 1500,
+			})
+			if i%4 == 0 {
+				pkts = append(pkts, &netem.Packet{
+					Flow: flow.Reversed(), Kind: netem.Ack, Wire: 40,
+				})
 			}
 		}
 		// Memory: live heap growth from warming the scheme's state
@@ -54,8 +65,8 @@ func Fig15(o Options) ([]Figure, error) {
 		var before, after runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&before)
-		for i := 0; i < flows; i++ {
-			bal.Pick(pkts[i], ports)
+		for _, pkt := range pkts {
+			bal.Pick(pkt, ports)
 		}
 		runtime.GC()
 		runtime.ReadMemStats(&after)
@@ -67,13 +78,20 @@ func Fig15(o Options) ([]Figure, error) {
 		// CPU: steady-state decision cost over the warmed state.
 		start := time.Now()
 		for i := 0; i < decisions; i++ {
-			bal.Pick(pkts[i%flows], ports)
+			bal.Pick(pkts[i%len(pkts)], ports)
 		}
 		elapsed := time.Since(start)
 
 		cpu.Bars = append(cpu.Bars, Bar{s.Name, float64(elapsed.Nanoseconds()) / decisions})
 		mem.Bars = append(mem.Bars, Bar{s.Name, stateBytes})
 		o.logf("fig15: %s %.1f ns/decision", s.Name, float64(elapsed.Nanoseconds())/decisions)
+		if tl, ok := bal.(*core.TLB); ok {
+			// TLB's decision breakdown: control routing is counted apart
+			// from short/long data decisions (Stats.ControlPackets).
+			st := tl.Stats()
+			o.logf("fig15: tlb decisions short=%d long=%d control=%d",
+				st.ShortPackets, st.LongPackets, st.ControlPackets)
+		}
 	}
 	return []Figure{cpu, mem}, nil
 }

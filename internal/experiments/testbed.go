@@ -143,15 +143,20 @@ func (p *normalizedPanels) addColumn(x float64, order []string, results map[stri
 	}
 }
 
-// testbedSweep runs all schemes over a list of environment variants.
+// testbedSweep runs all schemes over a list of environment variants:
+// the whole (x x scheme) grid goes to the shared runner as one batch,
+// and the normalized columns are reduced in input order.
 func testbedSweep(o Options, prefix, xlabel string, xs []float64, mk func(x float64) testbedEnv, mut func(env *testbedEnv, sc *sim.Scenario)) ([]Figure, error) {
 	panels := newNormalizedPanels(prefix, xlabel)
+	type cell struct {
+		x      float64
+		scheme string
+	}
+	var cells []cell
+	var scs []sim.Scenario
 	for _, x := range xs {
 		env := mk(x)
-		results := map[string]*sim.Result{}
-		var order []string
 		for _, s := range env.schemes() {
-			o.logf("%s: %s at x=%v", prefix, s.Name, x)
 			sc := sim.Scenario{
 				Name:         fmt.Sprintf("%s-%s-%v", prefix, s.Name, x),
 				Topology:     env.topo,
@@ -166,14 +171,27 @@ func testbedSweep(o Options, prefix, xlabel string, xs []float64, mk func(x floa
 			if mut != nil {
 				mut(&env, &sc)
 			}
-			res, err := sim.Run(sc)
-			if err != nil {
-				return nil, fmt.Errorf("%s %s x=%v: %w", prefix, s.Name, x, err)
-			}
-			results[s.Name] = res
-			order = append(order, s.Name)
+			cells = append(cells, cell{x, s.Name})
+			scs = append(scs, sc)
 		}
-		panels.addColumn(x, order, results)
+	}
+	results, err := o.runBatch(prefix, scs)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", prefix, err)
+	}
+	// Flush one normalized column per x value, in input order.
+	column := map[string]*sim.Result{}
+	var order []string
+	for i, res := range results {
+		if len(order) > 0 && cells[i].x != cells[i-1].x {
+			panels.addColumn(cells[i-1].x, order, column)
+			column, order = map[string]*sim.Result{}, nil
+		}
+		column[cells[i].scheme] = res
+		order = append(order, cells[i].scheme)
+	}
+	if len(order) > 0 {
+		panels.addColumn(cells[len(cells)-1].x, order, column)
 	}
 	return []Figure{panels.afct, panels.tput}, nil
 }

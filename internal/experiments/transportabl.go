@@ -45,6 +45,8 @@ func AblationTransport(o Options) ([]Figure, error) {
 		{Name: "letflow", Factory: lb.LetFlow(150 * units.Microsecond)},
 	}
 
+	var labels []string
+	var scs []sim.Scenario
 	for _, v := range variants {
 		env := newLargeEnv(websearchSizes(), o.FlowsPerRun)
 		tcfg := transport.DefaultConfig()
@@ -53,15 +55,21 @@ func AblationTransport(o Options) ([]Figure, error) {
 		all := append(append([]Scheme{}, schemes...),
 			Scheme{Name: "tlb", Factory: tlbFactory(env.tlbConfig(0))})
 		for _, s := range all {
-			o.logf("ablation-transport: %s under %s", s.Name, v.name)
-			res, err := env.run(s.Name+"-"+v.name, s.Factory, ablationLoad, o.Seed)
+			sc, err := env.scenario(Scheme{Name: s.Name + "-" + v.name, Factory: s.Factory, Replication: s.Replication}, ablationLoad, o.Seed)
 			if err != nil {
 				return nil, fmt.Errorf("ablation-transport %s/%s: %w", s.Name, v.name, err)
 			}
-			label := s.Name + "/" + v.name
-			afct.Bars = append(afct.Bars, Bar{label, res.AFCT(sim.ShortFlows).Seconds()})
-			tput.Bars = append(tput.Bars, Bar{label, float64(res.Goodput(sim.LongFlows)) / 1e9})
+			labels = append(labels, s.Name+"/"+v.name)
+			scs = append(scs, sc)
 		}
+	}
+	results, err := o.runBatch("ablation-transport", scs)
+	if err != nil {
+		return nil, fmt.Errorf("ablation-transport: %w", err)
+	}
+	for i, res := range results {
+		afct.Bars = append(afct.Bars, Bar{labels[i], res.AFCT(sim.ShortFlows).Seconds()})
+		tput.Bars = append(tput.Bars, Bar{labels[i], float64(res.Goodput(sim.LongFlows)) / 1e9})
 	}
 	return []Figure{afct, tput}, nil
 }
@@ -87,24 +95,30 @@ func FatTreeComparison(o Options) ([]Figure, error) {
 
 	tlbCfg := tlbFatTreeConfig(ftCfg)
 	schemes := append(baselines(150*units.Microsecond), Scheme{Name: "tlb", Factory: tlbFactory(tlbCfg)})
-	for _, s := range schemes {
-		o.logf("fattree: %s", s.Name)
-		res, err := sim.Run(sim.Scenario{
+	scs := make([]sim.Scenario, len(schemes))
+	for i, s := range schemes {
+		scs[i] = sim.Scenario{
 			Name:       "fattree-" + s.Name,
 			Transport:  transport.DefaultConfig(),
 			Balancer:   s.Factory,
 			SchemeName: s.Name,
 			Seed:       o.Seed,
-			Flows:      flows,
+			// flows is shared read-only across the batch: sim.Run never
+			// mutates a scenario's flow slice.
+			Flows: flows,
 			BuildNetwork: func(sm *eventsim.Sim, f lb.Factory, r *eventsim.RNG, deliver topology.DeliverFunc) (topology.Network, error) {
 				return topology.NewFatTree(sm, ftCfg, f, r, deliver)
 			},
 			StopWhenDone: true,
 			MaxTime:      60 * units.Second,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("fattree %s: %w", s.Name, err)
 		}
+	}
+	results, err := o.runBatch("fattree", scs)
+	if err != nil {
+		return nil, fmt.Errorf("fattree: %w", err)
+	}
+	for i, s := range schemes {
+		res := results[i]
 		afct.Bars = append(afct.Bars, Bar{s.Name, res.AFCT(sim.ShortFlows).Seconds()})
 		tput.Bars = append(tput.Bars, Bar{s.Name, float64(res.Goodput(sim.LongFlows)) / 1e9})
 	}

@@ -148,6 +148,12 @@ type prestoFlow struct {
 func (p *presto) Name() string { return "presto" }
 
 func (p *presto) Pick(pkt *netem.Packet, ports []*netem.Port) int {
+	// Header-only packets (pure ACKs, handshakes) are routed
+	// statelessly: they never carry FIN, so flow-table entries created
+	// for reverse-direction ACK streams would survive the whole run.
+	if pkt.IsShortHeader() {
+		return p.rng.Intn(len(ports))
+	}
 	f, ok := p.flows[pkt.Flow]
 	if !ok {
 		f = &prestoFlow{port: p.rng.Intn(len(ports))}
@@ -196,6 +202,12 @@ type letflowFlow struct {
 func (l *letflow) Name() string { return "letflow" }
 
 func (l *letflow) Pick(pkt *netem.Packet, ports []*netem.Port) int {
+	// Header-only packets are routed statelessly (see presto.Pick):
+	// pure ACKs never carry FIN, so tracking them would leak one table
+	// entry per reverse-direction stream for the whole run.
+	if pkt.IsShortHeader() {
+		return l.rng.Intn(len(ports))
+	}
 	now := l.sim.Now()
 	f, ok := l.flows[pkt.Flow]
 	if !ok {

@@ -1,0 +1,104 @@
+package lb
+
+import (
+	"testing"
+
+	"tlb/internal/eventsim"
+	"tlb/internal/netem"
+)
+
+// ackPkt builds a header-only pure ACK as the reverse direction of a
+// data flow would emit it.
+func ackPkt(flow netem.FlowID) *netem.Packet {
+	return &netem.Packet{Flow: flow.Reversed(), Kind: netem.Ack, Wire: 40}
+}
+
+// driveFlows pushes n flows through the balancer: SYN, a few data
+// packets interleaved with reverse-direction pure ACKs, then a FIN.
+// This is the packet mix a real run produces, where the same leaf
+// switch balances both a flow's data and the opposite flow's ACKs.
+func driveFlows(b Balancer, ports []*netem.Port, n int) {
+	for i := 0; i < n; i++ {
+		flow := netem.FlowID{Src: i, Dst: 1000 + i, Port: i}
+		syn := &netem.Packet{Flow: flow, Kind: netem.Syn, Wire: 40}
+		b.Pick(syn, ports)
+		for j := 0; j < 5; j++ {
+			b.Pick(dataPkt(flow, 1460), ports)
+			b.Pick(ackPkt(flow), ports)
+		}
+		fin := dataPkt(flow, 1460)
+		fin.FIN = true
+		b.Pick(fin, ports)
+		// Trailing ACK of the FIN, after the data direction is gone.
+		b.Pick(ackPkt(flow), ports)
+	}
+}
+
+// TestPrestoFlowTableDrains: after every flow FINs, the table must be
+// empty — pure ACK streams never FIN, so any entries created for them
+// would persist for the whole run and inflate the Fig. 15b scheme-state
+// measurement.
+func TestPrestoFlowTableDrains(t *testing.T) {
+	b, ports, _ := newBal(t, Presto(0), 4)
+	driveFlows(b, ports, 50)
+	if n := len(b.(*presto).flows); n != 0 {
+		t.Fatalf("presto flow table holds %d entries after all flows finished, want 0", n)
+	}
+}
+
+// TestLetFlowFlowTableDrains is the LetFlow counterpart of the Presto
+// leak regression.
+func TestLetFlowFlowTableDrains(t *testing.T) {
+	b, ports, _ := newBal(t, LetFlow(0), 4)
+	driveFlows(b, ports, 50)
+	if n := len(b.(*letflow).flows); n != 0 {
+		t.Fatalf("letflow flow table holds %d entries after all flows finished, want 0", n)
+	}
+}
+
+// TestHeaderPacketsRoutedStatelessly: a pure ACK must not create any
+// flow-table state, and must still land on a valid port.
+func TestHeaderPacketsRoutedStatelessly(t *testing.T) {
+	for name, f := range map[string]Factory{"presto": Presto(0), "letflow": LetFlow(0)} {
+		b, ports, _ := newBal(t, f, 4)
+		flow := netem.FlowID{Src: 7, Dst: 8, Port: 9}
+		for i := 0; i < 10; i++ {
+			got := b.Pick(ackPkt(flow), ports)
+			if got < 0 || got >= len(ports) {
+				t.Fatalf("%s routed ACK to invalid port %d", name, got)
+			}
+		}
+		var size int
+		switch bal := b.(type) {
+		case *presto:
+			size = len(bal.flows)
+		case *letflow:
+			size = len(bal.flows)
+		}
+		if size != 0 {
+			t.Fatalf("%s created %d flow entries from pure ACKs", name, size)
+		}
+	}
+}
+
+// TestStatelessRoutingDeterminism: the header-only path consumes the
+// balancer's own RNG stream, so runs with the same seed stay
+// reproducible.
+func TestStatelessRoutingDeterminism(t *testing.T) {
+	pick := func() []int {
+		s := eventsim.New()
+		ports := testPorts(s, 8)
+		b := LetFlow(0)(s, eventsim.NewRNG(99), ports)
+		out := make([]int, 20)
+		for i := range out {
+			out[i] = b.Pick(ackPkt(netem.FlowID{Src: 1, Dst: 2}), ports)
+		}
+		return out
+	}
+	a, b := pick(), pick()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("ACK routing diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+}

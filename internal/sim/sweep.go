@@ -1,16 +1,94 @@
 package sim
 
 import (
+	"fmt"
 	"runtime"
+	"strings"
 	"sync"
+	"time"
 )
 
-// RunAll executes the scenarios concurrently (each scenario is its own
-// single-threaded simulation; the parallelism is across runs, which is
-// where a parameter sweep's wall-clock goes on multicore machines).
-// Results are returned in input order; the first error, if any, is
-// returned alongside whatever completed.
-func RunAll(scenarios []Scenario, workers int) ([]*Result, error) {
+// This file is the shared sweep runner every experiment submits its
+// scenario batches to. Each scenario is its own single-threaded
+// simulation; the parallelism is across runs, which is where a
+// parameter sweep's wall-clock goes on multicore machines.
+//
+// Determinism: a scenario owns its seed and its simulation owns all of
+// its state, so the Result of a scenario does not depend on which
+// worker ran it or on how many workers there were. Results are always
+// returned in input order; callers reduce them in that order and get
+// byte-identical figures at any worker count (enforced by
+// TestParallelSerialIdenticalFigures in internal/experiments).
+
+// SweepOptions configure one RunSweep call.
+type SweepOptions struct {
+	// Workers is the number of scenarios executed concurrently;
+	// <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Progress, when non-nil, is called once per finished scenario.
+	// Calls are serialized by the runner, so the callback may write to
+	// shared state (a log) without its own locking. It runs on worker
+	// goroutines; keep it cheap.
+	Progress func(SweepProgress)
+}
+
+// SweepProgress describes one completed scenario of a sweep.
+type SweepProgress struct {
+	// Index is the scenario's position in the input slice.
+	Index int
+	// Completed counts scenarios finished so far, including this one;
+	// Total is the batch size — "Completed/Total" is the k/n line.
+	Completed, Total int
+	// Scenario is the Scenario.Name.
+	Scenario string
+	// Elapsed is the wall-clock time this scenario's Run took.
+	Elapsed time.Duration
+	// Err is the scenario's failure, if any.
+	Err error
+}
+
+// SweepFailure is one failed scenario of a sweep.
+type SweepFailure struct {
+	Index    int
+	Scenario string
+	Err      error
+}
+
+// SweepError aggregates every failed scenario of a sweep, so a batch
+// with several broken configurations reports all of them instead of
+// just the first.
+type SweepError struct {
+	Failures []SweepFailure
+}
+
+func (e *SweepError) Error() string {
+	if len(e.Failures) == 1 {
+		f := e.Failures[0]
+		return fmt.Sprintf("scenario %q (#%d): %v", f.Scenario, f.Index, f.Err)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d scenarios failed:", len(e.Failures))
+	for _, f := range e.Failures {
+		fmt.Fprintf(&b, "\n  %q (#%d): %v", f.Scenario, f.Index, f.Err)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the individual failures to errors.Is / errors.As.
+func (e *SweepError) Unwrap() []error {
+	errs := make([]error, len(e.Failures))
+	for i, f := range e.Failures {
+		errs[i] = f.Err
+	}
+	return errs
+}
+
+// RunSweep executes the scenarios on a worker pool and returns their
+// results in input order. On failure the returned error is a
+// *SweepError listing every failed scenario; the result slice still
+// holds whatever completed.
+func RunSweep(scenarios []Scenario, opt SweepOptions) ([]*Result, error) {
+	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -19,14 +97,32 @@ func RunAll(scenarios []Scenario, workers int) ([]*Result, error) {
 	}
 	results := make([]*Result, len(scenarios))
 	errs := make([]error, len(scenarios))
-	var wg sync.WaitGroup
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex // serializes Progress calls + completed
+		completed int
+	)
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				start := time.Now()
 				results[i], errs[i] = Run(scenarios[i])
+				if opt.Progress != nil {
+					mu.Lock()
+					completed++
+					opt.Progress(SweepProgress{
+						Index:     i,
+						Completed: completed,
+						Total:     len(scenarios),
+						Scenario:  scenarios[i].Name,
+						Elapsed:   time.Since(start),
+						Err:       errs[i],
+					})
+					mu.Unlock()
+				}
 			}
 		}()
 	}
@@ -35,10 +131,20 @@ func RunAll(scenarios []Scenario, workers int) ([]*Result, error) {
 	}
 	close(jobs)
 	wg.Wait()
-	for _, err := range errs {
+	var failures []SweepFailure
+	for i, err := range errs {
 		if err != nil {
-			return results, err
+			failures = append(failures, SweepFailure{Index: i, Scenario: scenarios[i].Name, Err: err})
 		}
 	}
+	if len(failures) > 0 {
+		return results, &SweepError{Failures: failures}
+	}
 	return results, nil
+}
+
+// RunAll is RunSweep without progress reporting — the minimal batch
+// API for callers that only want the worker pool.
+func RunAll(scenarios []Scenario, workers int) ([]*Result, error) {
+	return RunSweep(scenarios, SweepOptions{Workers: workers})
 }

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"tlb/internal/lb"
+	"tlb/internal/transport"
+	"tlb/internal/units"
+	"tlb/internal/workload"
+)
+
+func sweepScenario(name string, seed uint64) Scenario {
+	return Scenario{
+		Name: name, Topology: smallTopo(), Transport: transport.DefaultConfig(),
+		Balancer: lb.ECMP(), SchemeName: "ecmp", Seed: seed,
+		Flows: []workload.Flow{
+			{Src: 0, Dst: 4, Size: 40 * units.KB, Start: 0},
+		},
+		StopWhenDone: true, MaxTime: 10 * units.Second,
+	}
+}
+
+// TestRunSweepAggregatesAllErrors: a batch with several broken
+// scenarios must report every failure (index and name), not just the
+// first, while still returning the results that did complete.
+func TestRunSweepAggregatesAllErrors(t *testing.T) {
+	bad1 := sweepScenario("bad-one", 1)
+	bad1.Flows = nil // "has no flows"
+	bad2 := sweepScenario("bad-two", 2)
+	bad2.Balancer = nil // "has no balancer"
+	scenarios := []Scenario{sweepScenario("good-a", 3), bad1, sweepScenario("good-b", 4), bad2}
+
+	results, err := RunAll(scenarios, 4)
+	if err == nil {
+		t.Fatal("broken batch returned nil error")
+	}
+	var se *SweepError
+	if !errors.As(err, &se) {
+		t.Fatalf("error is %T, want *SweepError", err)
+	}
+	if len(se.Failures) != 2 {
+		t.Fatalf("%d failures reported, want 2: %v", len(se.Failures), err)
+	}
+	if se.Failures[0].Index != 1 || se.Failures[0].Scenario != "bad-one" {
+		t.Fatalf("first failure = %+v", se.Failures[0])
+	}
+	if se.Failures[1].Index != 3 || se.Failures[1].Scenario != "bad-two" {
+		t.Fatalf("second failure = %+v", se.Failures[1])
+	}
+	for _, name := range []string{"bad-one", "bad-two", "no flows", "no balancer"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error message missing %q: %v", name, err)
+		}
+	}
+	// Completed scenarios are still delivered alongside the error.
+	if results[0] == nil || results[2] == nil {
+		t.Fatal("successful results dropped from a partially failed sweep")
+	}
+	if results[1] != nil || results[3] != nil {
+		t.Fatal("failed scenarios produced results")
+	}
+}
+
+// TestRunSweepProgress: the progress callback fires once per scenario
+// with a monotonically increasing Completed counter and per-scenario
+// metadata.
+func TestRunSweepProgress(t *testing.T) {
+	scenarios := []Scenario{
+		sweepScenario("p0", 1), sweepScenario("p1", 2), sweepScenario("p2", 3),
+	}
+	var seen []SweepProgress
+	_, err := RunSweep(scenarios, SweepOptions{
+		Workers:  2,
+		Progress: func(p SweepProgress) { seen = append(seen, p) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(scenarios) {
+		t.Fatalf("%d progress calls, want %d", len(seen), len(scenarios))
+	}
+	indices := map[int]bool{}
+	for i, p := range seen {
+		if p.Completed != i+1 || p.Total != len(scenarios) {
+			t.Fatalf("progress %d: completed %d/%d", i, p.Completed, p.Total)
+		}
+		if p.Err != nil {
+			t.Fatalf("unexpected failure: %v", p.Err)
+		}
+		if p.Scenario != scenarios[p.Index].Name {
+			t.Fatalf("progress name %q for index %d", p.Scenario, p.Index)
+		}
+		indices[p.Index] = true
+	}
+	if len(indices) != len(scenarios) {
+		t.Fatalf("progress covered %d distinct scenarios, want %d", len(indices), len(scenarios))
+	}
+}
+
+// TestRunSweepEmptyBatch: a zero-length batch is a no-op, not a hang.
+func TestRunSweepEmptyBatch(t *testing.T) {
+	results, err := RunAll(nil, 4)
+	if err != nil || len(results) != 0 {
+		t.Fatalf("empty batch: %v, %d results", err, len(results))
+	}
+}
