@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench ci
+.PHONY: build test vet lint race bench ci
 
 build:
 	$(GO) build ./...
@@ -11,15 +11,22 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The race target exercises the two packages that contain real
-# concurrency: the shared sweep runner (internal/sim) and the batched
-# figure runners that feed it (internal/experiments).
+# lint runs simlint, the repo's custom static analyzer enforcing the
+# determinism and unit-safety contract (see DESIGN.md, "Determinism
+# contract"): nowallclock, noglobalrand, maporder, floateq, unitliteral.
+lint:
+	$(GO) run ./cmd/simlint ./...
+
+# The race detector runs over every package: the shared sweep runner
+# (internal/sim) and the batched figure runners (internal/experiments)
+# contain the real concurrency, but transport/netem/lb must also stay
+# clean when exercised from -race test binaries.
 race:
-	$(GO) test -race ./internal/sim ./internal/experiments
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
-# ci is the gate: static checks, the full test suite, and the race
-# detector over the concurrent packages.
-ci: build vet test race
+# ci is the gate: static checks (vet + simlint), the full test suite,
+# and the race detector over all packages.
+ci: build vet lint test race

@@ -20,6 +20,7 @@ package core
 
 import (
 	"math"
+	"sort"
 
 	"tlb/internal/eventsim"
 	"tlb/internal/lb"
@@ -228,6 +229,7 @@ type TLB struct {
 // periodic granularity updates.
 func New(sim *eventsim.Sim, rng *eventsim.RNG, ports []*netem.Port, cfg Config) *TLB {
 	c := cfg.withDefaults()
+	//simlint:allow floateq(0 is the exact "derive the default" config sentinel, never a computed value)
 	if c.EscapeFactor == 0 {
 		c.EscapeFactor = 4
 	}
@@ -438,17 +440,43 @@ func (t *TLB) remove(id netem.FlowID, e *flowEntry, completed bool) {
 }
 
 // tick is the granularity calculator's periodic update: evict idle
-// flows (lost FINs, dead connections) and recompute q_th.
+// flows (lost FINs, dead connections) and recompute q_th. The sweep
+// visits flows in sorted FlowID order: eviction itself is order-free
+// today, but a fixed order keeps any future side effect (logging,
+// estimator updates) deterministic by construction.
 func (t *TLB) tick() {
 	now := t.sim.Now()
-	for id, e := range t.flows {
-		if now-e.lastSeen >= t.cfg.Interval {
+	for _, id := range t.sortedFlowIDs() {
+		if e := t.flows[id]; now-e.lastSeen >= t.cfg.Interval {
 			t.stats.Evictions++
 			t.remove(id, e, false)
 		}
 	}
 	t.qth = t.computeQTh()
 	t.stats.Updates++
+}
+
+// sortedFlowIDs returns the flow-table keys ordered by (Src, Dst,
+// Port), the canonical iteration order for flow-table sweeps.
+func (t *TLB) sortedFlowIDs() []netem.FlowID {
+	ids := make([]netem.FlowID, 0, len(t.flows))
+	//simlint:allow maporder(keys are collected here and sorted below before any use)
+	for id := range t.flows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return flowIDLess(ids[i], ids[j]) })
+	return ids
+}
+
+// flowIDLess orders FlowIDs lexicographically by (Src, Dst, Port).
+func flowIDLess(a, b netem.FlowID) bool {
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	if a.Dst != b.Dst {
+		return a.Dst < b.Dst
+	}
+	return a.Port < b.Port
 }
 
 // computeQTh evaluates Eq. 9 for the current traffic, in packets.

@@ -1,0 +1,166 @@
+// Package lint implements simlint, the repository's custom static
+// analyzer. It enforces the determinism and unit-safety contract that
+// the simulator's headline guarantee — byte-identical figure output
+// from a seed at any worker count — depends on:
+//
+//	nowallclock  no time.Now/time.Since/time.Sleep inside simulation
+//	             packages; wall-clock time belongs to the harness.
+//	noglobalrand no math/rand (or math/rand/v2) anywhere but
+//	             eventsim/rng.go; stochastic code takes *eventsim.RNG.
+//	maporder     no for-range over a map in simulation packages; Go
+//	             randomizes map iteration order per iteration, so any
+//	             order-sensitive sweep must iterate sorted keys.
+//	floateq      no ==/!= between floating-point operands in
+//	             simulation packages.
+//	unitliteral  no untyped non-zero numeric literals passed directly
+//	             to parameters typed units.Time/units.Bandwidth/
+//	             units.Bytes; build values from the named constants.
+//
+// A site that is order-free or exact on purpose can be suppressed with
+// an annotation on the offending line or the line above:
+//
+//	//simlint:allow maporder(keys are collected and sorted before use)
+//
+// The reason inside the parentheses is mandatory; an empty reason is
+// itself reported. The analyzer is stdlib-only (go/parser, go/ast,
+// go/types with the source importer), keeping the module free of
+// third-party dependencies.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation.
+type Finding struct {
+	File string // path relative to the linted module root
+	Line int
+	Rule string
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.File, f.Line, f.Rule, f.Msg)
+}
+
+// simPackages names the directories under internal/ whose code runs
+// inside simulations and must therefore be deterministic. Everything
+// else (internal/sim, internal/experiments, cmd/, examples/) is
+// harness: it may read the wall clock, but still may not use
+// math/rand.
+var simPackages = map[string]bool{
+	"eventsim": true, "netem": true, "transport": true, "core": true,
+	"lb": true, "model": true, "workload": true, "topology": true,
+	"trace": true, "stats": true, "units": true,
+}
+
+// isSimPackage reports whether the import path denotes simulation code:
+// an internal package whose name is in the simPackages set.
+func isSimPackage(importPath string) bool {
+	segs := strings.Split(importPath, "/")
+	if len(segs) < 2 {
+		return false
+	}
+	return segs[len(segs)-2] == "internal" && simPackages[segs[len(segs)-1]]
+}
+
+// allowRe matches one suppression directive. Rule names are lowercase
+// identifiers; the reason may not contain a closing parenthesis.
+var allowRe = regexp.MustCompile(`simlint:allow\s+([a-z]+)\(([^)]*)\)`)
+
+// linter carries the state of one Run.
+type linter struct {
+	root     string
+	findings []Finding
+	// allowed maps file -> line -> rule -> true for suppression
+	// directives in effect on that line.
+	allowed map[string]map[int]map[string]bool
+}
+
+// Run lints the Go module rooted at root and returns all findings,
+// sorted by file, line and rule. A nil slice means the module is clean.
+func Run(root string) ([]Finding, error) {
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loadModule(absRoot)
+	if err != nil {
+		return nil, err
+	}
+	l := &linter{root: absRoot, allowed: make(map[string]map[int]map[string]bool)}
+	for _, p := range pkgs {
+		for _, f := range p.files {
+			l.collectAllows(f)
+		}
+	}
+	for _, p := range pkgs {
+		l.checkPackage(p)
+	}
+	sort.Slice(l.findings, func(i, j int) bool {
+		a, b := l.findings[i], l.findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+	return l.findings, nil
+}
+
+// relFile converts a token position's filename to a root-relative path.
+func (l *linter) relFile(pos token.Position) string {
+	rel, err := filepath.Rel(l.root, pos.Filename)
+	if err != nil {
+		return pos.Filename
+	}
+	return filepath.ToSlash(rel)
+}
+
+// collectAllows records every suppression directive in the file. A
+// directive covers its own line (end-of-line comment) and the next line
+// (comment above the statement).
+func (l *linter) collectAllows(f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			for _, m := range allowRe.FindAllStringSubmatch(c.Text, -1) {
+				rule, reason := m[1], strings.TrimSpace(m[2])
+				pos := sharedFset.Position(c.Pos())
+				file := l.relFile(pos)
+				if reason == "" {
+					l.report(pos, "simlint", fmt.Sprintf("allow directive for %q needs a non-empty reason", rule))
+					continue
+				}
+				if l.allowed[file] == nil {
+					l.allowed[file] = make(map[int]map[string]bool)
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if l.allowed[file][line] == nil {
+						l.allowed[file][line] = make(map[string]bool)
+					}
+					l.allowed[file][line][rule] = true
+				}
+			}
+		}
+	}
+}
+
+// report adds a finding unless an allow directive suppresses it.
+func (l *linter) report(pos token.Position, rule, msg string) {
+	file := l.relFile(pos)
+	if rule != "simlint" && l.allowed[file][pos.Line][rule] {
+		return
+	}
+	l.findings = append(l.findings, Finding{File: file, Line: pos.Line, Rule: rule, Msg: msg})
+}

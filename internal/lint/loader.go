@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// pkg is one loaded-and-type-checked package of the module under lint.
+type pkg struct {
+	path  string // import path, e.g. "tlb/internal/core"
+	dir   string // absolute directory
+	files []*ast.File
+	info  *types.Info
+}
+
+// The file set and stdlib importer are shared across Run calls so that
+// repeated runs in one process (the analyzer tests re-lint the repo
+// many times) type-check the standard library only once. FileSets are
+// append-only, and the source importer memoizes checked packages.
+var (
+	sharedFset  = token.NewFileSet()
+	stdImporter = importer.ForCompiler(sharedFset, "source", nil)
+)
+
+// moduleImporter resolves module-internal import paths from the set of
+// already-checked packages and everything else (the standard library)
+// through the shared source importer. The module is kept dependency-free
+// on purpose, so "not module, not stdlib" cannot occur.
+type moduleImporter struct {
+	modpath string
+	pkgs    map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.pkgs[path]; ok {
+		return p, nil
+	}
+	if path == m.modpath || strings.HasPrefix(path, m.modpath+"/") {
+		return nil, fmt.Errorf("module package %s imported before it was loaded (import cycle?)", path)
+	}
+	return stdImporter.Import(path)
+}
+
+// modulePath extracts the module path from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s/go.mod", root)
+}
+
+// loadModule parses and type-checks every non-test package under root.
+// Test files are excluded: the determinism contract governs the code
+// that runs inside simulations, and fixtures under testdata are other
+// modules entirely.
+func loadModule(root string) ([]*pkg, error) {
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modpath, err := modulePath(absRoot)
+	if err != nil {
+		return nil, err
+	}
+
+	// Discover package directories.
+	var dirs []string
+	err = filepath.WalkDir(absRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != absRoot && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		hasGo, err := dirHasGoFiles(path)
+		if err != nil {
+			return err
+		}
+		if hasGo {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	// Parse.
+	byPath := make(map[string]*pkg, len(dirs))
+	imports := make(map[string][]string, len(dirs)) // module-internal deps
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(absRoot, dir)
+		if err != nil {
+			return nil, err
+		}
+		ipath := modpath
+		if rel != "." {
+			ipath = modpath + "/" + filepath.ToSlash(rel)
+		}
+		p := &pkg{path: ipath, dir: dir}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(sharedFset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			p.files = append(p.files, f)
+			for _, imp := range f.Imports {
+				dep := strings.Trim(imp.Path.Value, `"`)
+				if dep == modpath || strings.HasPrefix(dep, modpath+"/") {
+					imports[ipath] = append(imports[ipath], dep)
+				}
+			}
+		}
+		if len(p.files) > 0 {
+			byPath[ipath] = p
+		}
+	}
+
+	// Topological order over module-internal imports.
+	order, err := topoSort(byPath, imports)
+	if err != nil {
+		return nil, err
+	}
+
+	// Type-check in dependency order.
+	imp := &moduleImporter{modpath: modpath, pkgs: make(map[string]*types.Package)}
+	var out []*pkg
+	for _, ipath := range order {
+		p := byPath[ipath]
+		p.info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(ipath, sharedFset, p.files, p.info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", ipath, err)
+		}
+		imp.pkgs[ipath] = tpkg
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func dirHasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// topoSort orders package paths so every package follows its
+// module-internal dependencies.
+func topoSort(pkgs map[string]*pkg, deps map[string][]string) ([]string, error) {
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int, len(pkgs))
+	var order []string
+	var visit func(string) error
+	visit = func(p string) error {
+		switch state[p] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle through %s", p)
+		}
+		state[p] = visiting
+		ds := append([]string(nil), deps[p]...)
+		sort.Strings(ds)
+		for _, d := range ds {
+			if _, ok := pkgs[d]; ok {
+				if err := visit(d); err != nil {
+					return err
+				}
+			}
+		}
+		state[p] = done
+		order = append(order, p)
+		return nil
+	}
+	paths := make([]string, 0, len(pkgs))
+	for p := range pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

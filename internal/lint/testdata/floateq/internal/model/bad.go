@@ -1,0 +1,10 @@
+// Package model demonstrates the floateq rule.
+package model
+
+func Converged(a, b float64) bool {
+	return a == b //WANT floateq
+}
+
+func NotOne(x float32) bool {
+	return x != 1.0 //WANT floateq
+}

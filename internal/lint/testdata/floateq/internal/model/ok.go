@@ -1,0 +1,16 @@
+package model
+
+import "math"
+
+// Epsilon comparison, integer equality and annotated exact checks are
+// all clean.
+func ConvergedEps(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+func SameCount(a, b int) bool { return a == b }
+
+func IsSentinel(x float64) bool {
+	//simlint:allow floateq(0 is an exact config sentinel, never computed)
+	return x == 0
+}

@@ -1,0 +1,21 @@
+// Package core demonstrates the maporder rule in a simulation package.
+package core
+
+func SumValues(m map[int]int) int {
+	s := 0
+	for _, v := range m { //WANT maporder
+		s += v
+	}
+	return s
+}
+
+// An allow directive with an empty reason does not suppress anything
+// and is reported itself.
+func Keys(m map[string]bool) []string {
+	var out []string
+	//simlint:allow maporder() //WANT simlint
+	for k := range m { //WANT maporder
+		out = append(out, k)
+	}
+	return out
+}

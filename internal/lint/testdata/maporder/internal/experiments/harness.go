@@ -1,0 +1,11 @@
+// Package experiments is harness code: the maporder rule does not
+// apply outside simulation packages, so this file is clean.
+package experiments
+
+func Total(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,7 @@
+// Harness code is not exempt from noglobalrand: reproducibility of
+// experiment schedules depends on seeded streams everywhere.
+package main
+
+import "math/rand" //WANT noglobalrand
+
+func main() { _ = rand.Int() }

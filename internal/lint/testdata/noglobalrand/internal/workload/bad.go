@@ -1,0 +1,11 @@
+// Package workload demonstrates the noglobalrand rule: math/rand in
+// any file but eventsim/rng.go is an error, simulation or harness
+// alike.
+package workload
+
+import (
+	"math/rand"        //WANT noglobalrand
+	v2 "math/rand/v2"  //WANT noglobalrand
+)
+
+func Draw() int { return rand.Int() + v2.Int() }

@@ -1,0 +1,14 @@
+// Package netem is a stand-in simulation package: wall-clock reads
+// here must be flagged.
+package netem
+
+import "time"
+
+func Elapsed(start time.Time) time.Duration {
+	time.Sleep(time.Millisecond) //WANT nowallclock
+	return time.Since(start)     //WANT nowallclock
+}
+
+func NowNano() int64 {
+	return time.Now().UnixNano() //WANT nowallclock
+}

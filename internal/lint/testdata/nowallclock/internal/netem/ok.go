@@ -1,0 +1,7 @@
+package netem
+
+import "time"
+
+// Duration arithmetic and constants do not read the wall clock and
+// stay legal even inside simulation packages.
+func Budget() time.Duration { return 3 * time.Millisecond }

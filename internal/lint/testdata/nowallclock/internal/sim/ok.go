@@ -1,0 +1,10 @@
+// Package sim is harness code: wall-clock reads are allowed here (the
+// sweep runner times real executions), so this file must produce no
+// findings.
+package sim
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+
+func Took(start time.Time) time.Duration { return time.Since(start) }

@@ -1,0 +1,17 @@
+// Package core demonstrates the unitliteral rule: untyped numeric
+// literals silently acquire the unit of the parameter.
+package core
+
+import "fixture/internal/units"
+
+func wait(d units.Time)          {}
+func reserve(b units.Bandwidth)  {}
+func buffer(n units.Bytes)       {}
+func timers(ds ...units.Time)    {}
+
+func Bad() {
+	wait(500)          //WANT unitliteral
+	reserve(1000000)   //WANT unitliteral
+	buffer(-64)        //WANT unitliteral
+	timers(1, 2)       //WANT unitliteral unitliteral
+}

@@ -1,0 +1,14 @@
+package core
+
+import "fixture/internal/units"
+
+func OK(n int) {
+	wait(0)                        // zero is unit-free
+	wait(500 * units.Microsecond)  // built from named constants
+	wait(units.Time(500))          // explicit conversion is deliberate
+	buffer(64 * units.KiB)
+	buffer(units.Bytes(n))
+	reserve(units.Gbps)
+	//simlint:allow unitliteral(calibration constant measured in raw nanoseconds)
+	wait(123)
+}

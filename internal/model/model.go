@@ -220,10 +220,15 @@ func (p Params) FCTShort(qth float64) float64 {
 	if nS <= 0 {
 		return math.Inf(1)
 	}
-	ms := float64(p.ShortFlows)
-	if ms == 0 {
+	// The empty-shorts special case tests the integer count, not its
+	// float64 mirror: an exact float comparison would only be correct by
+	// accident of the int→float conversion, and simlint's floateq rule
+	// flags it. No epsilon is involved anywhere in this branch — the
+	// quadratic below tolerates any ms > 0.
+	if p.ShortFlows == 0 {
 		return x / c
 	}
+	ms := float64(p.ShortFlows)
 	r := float64(Rounds(p.MeanShortSize, p.MSS))
 	// Let F = FCT, T0 = X/C. F = r*ms*x/(2C(F*nS*C - ms*x)) + T0
 	// => (F - T0)(F*nS*C - ms*x)*2C = r*ms*x

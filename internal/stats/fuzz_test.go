@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzQuantiles feeds arbitrary float64 samples (8 input bytes each,
+// non-finite values skipped) to the two quantile estimators and checks
+// the estimator contracts the experiments rely on:
+//
+//   - Sample.Percentile(p) lies within [min, max] of the data and is
+//     monotone non-decreasing in p;
+//   - Histogram.Quantile(q) is monotone non-decreasing in q and bounded
+//     by the histogram's value range (0, bins*width].
+func FuzzQuantiles(f *testing.F) {
+	seed := func(vals ...float64) []byte {
+		var b []byte
+		for _, v := range vals {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+		}
+		return b
+	}
+	f.Add(seed(1.0, 2.5, -3.0, 2.5))
+	f.Add(seed(0.0))
+	f.Add(seed(1e-12, 1e12, -1e12, 7.25, 7.25, 7.25))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Sample
+		h := NewHistogram(0.5, 64)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for len(data) >= 8 {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(data[:8]))
+			data = data[8:]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			s.Add(v)
+			h.Add(v)
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if s.N() == 0 {
+			return
+		}
+
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 2.5 {
+			q := s.Percentile(p)
+			if q < lo || q > hi {
+				t.Fatalf("Percentile(%v) = %v outside data range [%v, %v]", p, q, lo, hi)
+			}
+			if q < prev {
+				t.Fatalf("Percentile not monotone: p=%v gave %v after %v", p, q, prev)
+			}
+			prev = q
+		}
+		if got := s.Percentile(0); got != lo {
+			t.Fatalf("Percentile(0) = %v, want min %v", got, lo)
+		}
+		if got := s.Percentile(100); got != hi {
+			t.Fatalf("Percentile(100) = %v, want max %v", got, hi)
+		}
+
+		prevH := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := h.Quantile(q)
+			if v < prevH {
+				t.Fatalf("Histogram.Quantile not monotone: q=%v gave %v after %v", q, v, prevH)
+			}
+			if v <= 0 || v > 0.5*64 {
+				t.Fatalf("Histogram.Quantile(%v) = %v outside (0, %v]", q, v, 0.5*64)
+			}
+			prevH = v
+		}
+	})
+}

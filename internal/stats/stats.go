@@ -124,7 +124,17 @@ func (s *Sample) Percentile(p float64) float64 {
 	if lo+1 >= len(s.xs) {
 		return s.xs[len(s.xs)-1]
 	}
-	return s.xs[lo]*(1-frac) + s.xs[lo+1]*frac
+	// Interpolate in difference form and clamp to the bracketing
+	// samples: the two-product form can round one ulp outside the
+	// bracket, leaking values beyond the observed range.
+	v := s.xs[lo] + frac*(s.xs[lo+1]-s.xs[lo])
+	if v < s.xs[lo] {
+		v = s.xs[lo]
+	}
+	if v > s.xs[lo+1] {
+		v = s.xs[lo+1]
+	}
+	return v
 }
 
 // CDF returns (value, cumulative fraction) pairs at the given number of
@@ -279,12 +289,13 @@ func (h *Histogram) Add(x float64) {
 		h.bins[0]++
 		return
 	}
-	i := int(x / h.width)
-	if i >= len(h.bins) {
+	// Compare in float space: converting a huge quotient to int is
+	// undefined and can wrap negative, indexing out of range.
+	if x/h.width >= float64(len(h.bins)) {
 		h.overflow++
 		return
 	}
-	h.bins[i]++
+	h.bins[int(x/h.width)]++
 }
 
 // N returns the observation count.

@@ -215,6 +215,7 @@ func (t *Tracer) Summary(w io.Writer) error {
 		return nil
 	}
 	kinds := make([]EventKind, 0, len(t.counts))
+	//simlint:allow maporder(keys are collected and sorted on the next line before any output)
 	for k := range t.counts {
 		kinds = append(kinds, k)
 	}
@@ -235,6 +236,7 @@ func (t *Tracer) Summary(w io.Writer) error {
 		n int
 	}
 	ws := make([]wc, 0, len(where))
+	//simlint:allow maporder(entries are collected and sorted by count then name before any output)
 	for k, v := range where {
 		ws = append(ws, wc{k, v})
 	}

@@ -30,6 +30,11 @@ type Config struct {
 	RcvWindow units.Bytes
 	// MinRTO bounds the retransmission timer from below.
 	MinRTO units.Time
+	// MaxRTO bounds the exponential timeout backoff from above (RFC
+	// 6298 §2.5 permits a cap). Without it, a streak of lost
+	// retransmissions doubles the timer past the simulation horizon
+	// and a recoverable flow never retries.
+	MaxRTO units.Time
 	// InitialRTO is used before any RTT sample exists.
 	InitialRTO units.Time
 	// DupAckThreshold triggers fast retransmit (3, per TCP).
@@ -98,6 +103,12 @@ func (c *Config) withDefaults() Config {
 	}
 	if d.InitialRTO <= 0 {
 		d.InitialRTO = d.MinRTO
+	}
+	if d.MaxRTO <= 0 {
+		d.MaxRTO = units.Second
+	}
+	if d.MaxRTO < d.MinRTO {
+		d.MaxRTO = d.MinRTO
 	}
 	if d.DupAckThreshold <= 0 {
 		d.DupAckThreshold = 3

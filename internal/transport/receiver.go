@@ -29,8 +29,9 @@ type Receiver struct {
 	size units.Bytes
 
 	rcvNxt units.Bytes
-	// ooo holds out-of-order segments keyed by start seq.
-	ooo map[units.Bytes]units.Bytes
+	// ooo buffers out-of-order segments, sorted by start seq so every
+	// reassembly and SACK-construction sweep is deterministic.
+	ooo oooBuf
 
 	lastAckSent units.Bytes
 	sentAnyAck  bool
@@ -65,7 +66,6 @@ func NewReceiver(sim *eventsim.Sim, cfg Config, id netem.FlowID, size units.Byte
 		out:   out,
 		id:    id,
 		size:  size,
-		ooo:   make(map[units.Bytes]units.Bytes),
 		Stats: stats,
 	}
 }
@@ -102,7 +102,7 @@ func (r *Receiver) onData(pkt *netem.Packet) {
 			r.Stats.OutOfOrder++
 			outOfOrder = true
 		}
-		r.ooo[pkt.Seq] = pkt.Payload
+		r.ooo.Insert(pkt.Seq, pkt.Payload)
 		r.lastBlock = netem.SackBlock{Start: pkt.Seq, End: pkt.Seq + pkt.Payload}
 	case pkt.Seq+pkt.Payload <= r.rcvNxt:
 		// Entirely duplicate; ACK below re-states rcvNxt.
@@ -111,11 +111,10 @@ func (r *Receiver) onData(pkt *netem.Packet) {
 		// buffer.
 		r.rcvNxt = pkt.Seq + pkt.Payload
 		for {
-			l, ok := r.ooo[r.rcvNxt]
+			l, ok := r.ooo.Take(r.rcvNxt)
 			if !ok {
 				break
 			}
-			delete(r.ooo, r.rcvNxt)
 			r.rcvNxt += l
 		}
 	}
@@ -180,33 +179,28 @@ func (r *Receiver) emitAck(ce bool) {
 }
 
 // fillSackBlocks reports up to three out-of-order ranges, the most
-// recently received first (RFC 2018). Adjacent buffered segments are
+// recently received first (RFC 2018), then the remaining buffered
+// ranges in ascending sequence order. Adjacent buffered segments are
 // coalesced so a block covers a contiguous range.
 func (r *Receiver) fillSackBlocks(ack *netem.Packet) {
-	if len(r.ooo) == 0 {
+	if r.ooo.Empty() {
 		return
 	}
 	grow := func(b netem.SackBlock) netem.SackBlock {
 		// Extend in both directions over buffered segments.
 		for {
-			if l, ok := r.ooo[b.End]; ok {
+			if l, ok := r.ooo.At(b.End); ok {
 				b.End += l
 				continue
 			}
 			break
 		}
 		for {
-			found := false
-			for s, l := range r.ooo {
-				if s+l == b.Start {
-					b.Start = s
-					found = true
-					break
-				}
-			}
-			if !found {
+			s, ok := r.ooo.EndingAt(b.Start)
+			if !ok {
 				break
 			}
+			b.Start = s.Start
 		}
 		return b
 	}
@@ -222,13 +216,13 @@ func (r *Receiver) fillSackBlocks(ack *netem.Packet) {
 		ack.SackBlocks[ack.SackCount] = b
 		ack.SackCount++
 	}
-	if l, ok := r.ooo[r.lastBlock.Start]; ok && r.lastBlock.End == r.lastBlock.Start+l {
+	if l, ok := r.ooo.At(r.lastBlock.Start); ok && r.lastBlock.End == r.lastBlock.Start+l {
 		add(grow(r.lastBlock))
 	}
-	for s, l := range r.ooo {
+	for _, seg := range r.ooo.Segs() {
 		if ack.SackCount >= 3 {
 			break
 		}
-		add(grow(netem.SackBlock{Start: s, End: s + l}))
+		add(grow(netem.SackBlock{Start: seg.Start, End: seg.Start + seg.Len}))
 	}
 }

@@ -59,11 +59,12 @@ type Sender struct {
 	started     bool
 	finished    bool
 
-	// SACK scoreboard: segment start -> true when the receiver has
-	// reported the segment; retxRec tracks what this recovery episode
-	// already retransmitted so each hole is resent once per episode.
-	sacked  map[units.Bytes]bool
-	retxRec map[units.Bytes]bool
+	// SACK scoreboard: the set of segment starts the receiver has
+	// reported (sorted, so every scan is deterministic); retxRec tracks
+	// what this recovery episode already retransmitted so each hole is
+	// resent once per episode.
+	sacked  segSet
+	retxRec segSet
 
 	Stats FlowStats
 }
@@ -90,10 +91,6 @@ func NewSender(sim *eventsim.Sim, cfg Config, id netem.FlowID, size units.Bytes,
 	s.Stats.ID = id
 	s.Stats.Size = size
 	s.rtoFn = s.onRTOTimer
-	if c.SACK {
-		s.sacked = make(map[units.Bytes]bool)
-		s.retxRec = make(map[units.Bytes]bool)
-	}
 	return s
 }
 
@@ -185,7 +182,7 @@ func (s *Sender) recordSack(pkt *netem.Packet) {
 			if seg <= 0 {
 				break
 			}
-			s.sacked[seq] = true
+			s.sacked.Add(seq)
 			seq += seg
 		}
 	}
@@ -201,8 +198,8 @@ func (s *Sender) sackRetransmit() {
 		if seg <= 0 {
 			return
 		}
-		if !s.sacked[seq] && !s.retxRec[seq] && s.sackedAbove(seq) >= s.cfg.DupAckThreshold {
-			s.retxRec[seq] = true
+		if !s.sacked.Has(seq) && !s.retxRec.Has(seq) && s.sackedAbove(seq) >= s.cfg.DupAckThreshold {
+			s.retxRec.Add(seq)
 			s.retransmit(seq)
 			return
 		}
@@ -212,13 +209,7 @@ func (s *Sender) sackRetransmit() {
 
 // sackedAbove counts SACKed segments beyond seq.
 func (s *Sender) sackedAbove(seq units.Bytes) int {
-	n := 0
-	for sk := range s.sacked {
-		if sk > seq {
-			n++
-		}
-	}
-	return n
+	return s.sacked.CountAbove(seq)
 }
 
 // segLen returns the length of the segment starting at seq.
@@ -255,11 +246,7 @@ func (s *Sender) newAck(ack units.Bytes, ece bool) {
 	}
 
 	if s.cfg.SACK {
-		for seq := range s.sacked {
-			if seq < s.sndUna {
-				delete(s.sacked, seq)
-			}
-		}
+		s.sacked.DropBelow(s.sndUna)
 	}
 	if s.inRecovery {
 		if ack >= s.recover {
@@ -267,7 +254,7 @@ func (s *Sender) newAck(ack units.Bytes, ece bool) {
 			s.inRecovery = false
 			s.cwnd = s.ssthresh
 			if s.cfg.SACK {
-				s.retxRec = make(map[units.Bytes]bool)
+				s.retxRec.Reset()
 			}
 		} else if s.cfg.SACK {
 			// Partial ACK: resend the next un-SACKed hole.
@@ -332,7 +319,7 @@ func (s *Sender) fastRetransmit() {
 	s.Stats.FastRetx++
 	s.Stats.WindowCuts++
 	if s.cfg.SACK {
-		s.retxRec = make(map[units.Bytes]bool)
+		s.retxRec.Reset()
 		s.sackRetransmit()
 		return
 	}
@@ -362,7 +349,7 @@ func (s *Sender) onRTO() {
 	if !s.established {
 		// Lost SYN (or SYN-ACK): try again.
 		s.sendControl(netem.Syn)
-		s.rtoBackoff *= 2
+		s.doubleBackoff()
 		s.armRTO()
 		return
 	}
@@ -374,14 +361,23 @@ func (s *Sender) onRTO() {
 	s.Stats.WindowCuts++
 	if s.cfg.SACK {
 		// RTO invalidates the scoreboard (RFC 6675 conservativeness).
-		s.sacked = make(map[units.Bytes]bool)
-		s.retxRec = make(map[units.Bytes]bool)
+		s.sacked.Reset()
+		s.retxRec.Reset()
 	}
 	// Go-back-N from the hole.
 	s.sndNxt = s.sndUna
 	s.retransmit(s.sndUna)
-	s.rtoBackoff *= 2
+	s.doubleBackoff()
 	s.armRTO()
+}
+
+// doubleBackoff applies the exponential timeout backoff, capped at
+// MaxRTO so a loss streak cannot push the next retry beyond reach.
+func (s *Sender) doubleBackoff() {
+	s.rtoBackoff *= 2
+	if s.rtoBackoff > s.cfg.MaxRTO {
+		s.rtoBackoff = s.cfg.MaxRTO
+	}
 }
 
 // trySend emits as many new segments as the window allows.
@@ -514,6 +510,13 @@ func (s *Sender) armRTO() {
 	}
 	s.rtoDeadline = s.sim.Now() + s.rtoBackoff
 	if s.rtoTimer == nil || !s.rtoTimer.Scheduled() {
+		s.rtoTimer = s.sim.At(s.rtoDeadline, s.rtoFn)
+	} else if s.rtoTimer.At() > s.rtoDeadline {
+		// The deadline moved *earlier* (progress reset a long timeout
+		// backoff): the lazy scheme only recovers from deadlines that
+		// move later, so a stale far-future event would leave the flow
+		// without a live RTO for the rest of the old backoff.
+		s.sim.Cancel(s.rtoTimer)
 		s.rtoTimer = s.sim.At(s.rtoDeadline, s.rtoFn)
 	}
 }

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -358,7 +359,9 @@ func TestReliabilityUnderRandomLoss(t *testing.T) {
 		s.RunUntil(60 * units.Second)
 		return snd.Done() && snd.Stats.BytesAcked == 40*cfg.MSS
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+	// Seeded: the property must hold for any input, but CI runs the
+	// same inputs every time. Bump the seed to explore new ones.
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(1))}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -454,7 +457,7 @@ func TestSenderInvariantsProperty(t *testing.T) {
 		}
 		return !violated && snd.Done() && snd.Stats.BytesAcked == size
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(2))}); err != nil {
 		t.Fatal(err)
 	}
 }
