@@ -27,6 +27,12 @@ race:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
+# smoke runs one small end-to-end figure — the fault-injection
+# experiment, which crosses every layer (faults -> netem -> lb/core ->
+# sim -> experiments) — and discards the output; it only has to exit 0.
+smoke:
+	$(GO) run ./cmd/experiments -fig figF1 -flows 60 -workers 2 -q >/dev/null
+
 # ci is the gate: static checks (vet + simlint), the full test suite,
-# and the race detector over all packages.
-ci: build vet lint test race
+# the race detector over all packages, and the end-to-end smoke run.
+ci: build vet lint test race smoke

@@ -8,6 +8,7 @@
 //	experiments -fig fig3,fig4,fig7      # several
 //	experiments -fig all -flows 400      # everything, smaller runs
 //	experiments -fig ablations           # the design-choice ablations
+//	experiments -fig figF1,figF2         # dynamic link-fault experiments
 //
 // Output is a plain-text rendering of each panel: bars as
 // "label value" rows, curves as "# name" headers followed by "x y"

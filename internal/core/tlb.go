@@ -292,6 +292,20 @@ func (t *TLB) Pick(pkt *netem.Packet, ports []*netem.Port) int {
 			e.port = lb.LowestDelay(t.rng, ports)
 			e.hasPort = true
 			t.longsOnPort[e.port]++
+		} else if ports[e.port].Down() {
+			// The parked uplink died. Its queue drains and then never
+			// grows again (a down port drops at admission), so waiting
+			// for q_th would strand the flow in retransmission-timeout
+			// loops until the link recovers. Move now, bypassing the
+			// reorder guard: the packets on the old path are already
+			// lost, so there is nothing left to overtake.
+			np := t.rerouteTarget(ports)
+			if np != e.port {
+				t.stats.Reroutes++
+				t.longsOnPort[e.port]--
+				t.longsOnPort[np]++
+				e.port = np
+			}
 		} else if ports[e.port].QueueLen() >= t.qth {
 			np := t.rerouteTarget(ports)
 			if np != e.port && t.switchSafe(e, now, ports[e.port].EstimatedDelay(), ports[np].EstimatedDelay()) {
@@ -311,7 +325,11 @@ func (t *TLB) Pick(pkt *netem.Packet, ports []*netem.Port) int {
 		// (equal-cost hopping reorders for no gain), and it has to be
 		// reorder-safe (see Config.DisableSafeSwitch).
 		port = t.pickShort(ports)
-		if e.hasPort && port != e.port {
+		if e.hasPort && port != e.port && !ports[e.port].Down() {
+			// Hysteresis and the reorder guard only apply while the old
+			// port is alive; once it is down, anything in flight there
+			// is lost and sticking would just feed the fault drop
+			// counter.
 			cur := ports[e.port].EstimatedDelay()
 			cand := ports[port].EstimatedDelay()
 			if cur <= cand+t.hystDelay || !t.switchSafe(e, now, cur, cand) {
@@ -352,12 +370,19 @@ func (t *TLB) pickShort(ports []*netem.Port) int {
 	case ShortPowerOfTwo:
 		a := t.rng.Intn(len(ports))
 		b := t.rng.Intn(len(ports))
+		// A live sample beats a dead one regardless of backlog.
+		if ports[a].Down() != ports[b].Down() {
+			if ports[a].Down() {
+				return b
+			}
+			return a
+		}
 		if ports[b].EstimatedDelay() < ports[a].EstimatedDelay() {
 			return b
 		}
 		return a
 	case ShortRandom:
-		return t.rng.Intn(len(ports))
+		return lb.RandomLive(t.rng, ports)
 	default:
 		return lb.LowestDelay(t.rng, ports)
 	}
@@ -399,15 +424,19 @@ func (t *TLB) rerouteTarget(ports []*netem.Port) int {
 	return lb.LowestDelay(t.rng, ports)
 }
 
-// leastLongPort returns the uplink hosting the fewest parked long
-// flows, ties broken uniformly at random.
+// leastLongPort returns the live uplink hosting the fewest parked long
+// flows, ties broken uniformly at random. Down uplinks are skipped
+// (fixed index 0 when everything is down); with all ports up the scan
+// consumes the same RNG values as the pre-liveness implementation.
 func (t *TLB) leastLongPort() int {
-	best := 0
-	bestN := t.longsOnPort[0]
-	ties := 1
-	for i := 1; i < len(t.longsOnPort); i++ {
-		switch n := t.longsOnPort[i]; {
-		case n < bestN:
+	best := -1
+	var bestN, ties int
+	for i, n := range t.longsOnPort {
+		if t.ports[i].Down() {
+			continue
+		}
+		switch {
+		case best < 0 || n < bestN:
 			best, bestN, ties = i, n, 1
 		case n == bestN:
 			ties++
@@ -415,6 +444,9 @@ func (t *TLB) leastLongPort() int {
 				best = i
 			}
 		}
+	}
+	if best < 0 {
+		return 0
 	}
 	return best
 }

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"tlb/internal/faults"
+	"tlb/internal/sim"
+	"tlb/internal/stats"
+	"tlb/internal/transport"
+	"tlb/internal/units"
+	"tlb/internal/workload"
+)
+
+// The paper's §7 asymmetry study (Fig. 16–17) degrades links statically
+// before the run starts. FigF1 and FigF2 extend it to the dynamic case:
+// links fail and recover mid-traffic, which is when a load balancer's
+// path-condition detection actually earns its keep. Both run on the §7
+// testbed fabric (2 leaves x 10 spines, 20 Mbps, 1 ms links) and use
+// the deterministic schedule-driven injector of internal/faults.
+
+// figF1 failure window: both overridden Fig. 16/17 links — (leaf0,
+// spine2) and (leaf0, spine7) — go down at 2.5 s and recover at 5.5 s,
+// while short flows keep arriving over an 8 s window against 4
+// established 15 MB long flows.
+const (
+	figF1FailAt    = 2500 * units.Millisecond
+	figF1RecoverAt = 5500 * units.Millisecond
+	figF1Window    = 8 * units.Second
+)
+
+// figF1Flows spreads shorts uniformly over the whole observation
+// window (so every phase — before, during, after the failure — sees
+// fresh arrivals) against long flows established at t=0.
+func figF1Flows(env testbedEnv, shorts int, seed uint64) []workload.Flow {
+	senders := make([]int, env.topo.HostsPerLeaf)
+	receivers := make([]int, env.topo.HostsPerLeaf)
+	for i := range senders {
+		senders[i] = i
+		receivers[i] = env.topo.HostsPerLeaf + i
+	}
+	rng := newRNG(seed)
+	longs := workload.StaticMix{
+		LongFlows: env.longs,
+		LongSizes: workload.Fixed{Size: 15 * units.MB},
+		Senders:   senders,
+		Receivers: receivers,
+	}
+	shortMix := workload.StaticMix{
+		ShortFlows:    shorts,
+		ShortSizes:    workload.Uniform{MinSize: 10 * units.KB, MaxSize: 100 * units.KB},
+		Senders:       senders,
+		Receivers:     receivers,
+		ArrivalJitter: figF1Window,
+		Deadlines: workload.DeadlineDist{
+			Min: 2 * units.Second, Max: 6 * units.Second,
+			OnlyBelow: 100 * units.KB,
+		},
+	}
+	flows, err := longs.Generate(rng, 0)
+	if err != nil {
+		panic(err) // static config, cannot fail
+	}
+	more, err := shortMix.Generate(rng, 0)
+	if err != nil {
+		panic(err)
+	}
+	return append(flows, more...)
+}
+
+// figF1Shorts scales the short-flow count off Options.FlowsPerRun
+// (which targets the 1 Gbps large-scale runs) to something the 20 Mbps
+// testbed fabric can drain inside the window.
+func figF1Shorts(o Options) int {
+	n := o.FlowsPerRun / 4
+	if n < 20 {
+		n = 20
+	}
+	if n > 300 {
+		n = 300
+	}
+	return n
+}
+
+// FigF1 runs the fail→recover experiment: two of ten uplinks of leaf 0
+// go down mid-run and come back 3 s later.
+//
+//   - figF1a: short-flow AFCT bucketed by flow start time — the
+//     recovery transient, per scheme.
+//   - figF1b: aggregate long-flow goodput over time.
+//   - figF1c: short-flow AFCT in the pre-failure, failure and
+//     post-recovery windows, as bars per scheme.
+func FigF1(o Options) ([]Figure, error) {
+	env := newTestbedEnv(0, 4)
+	shorts := figF1Shorts(o)
+	sched := faults.Schedule{
+		faults.Down(figF1FailAt, 0, 2),
+		faults.Down(figF1FailAt, 0, 7),
+		faults.Restore(figF1RecoverAt, 0, 2),
+		faults.Restore(figF1RecoverAt, 0, 7),
+	}
+	var scs []sim.Scenario
+	var order []string
+	for _, s := range env.schemes() {
+		order = append(order, s.Name)
+		scs = append(scs, sim.Scenario{
+			Name:              fmt.Sprintf("figF1-%s", s.Name),
+			Topology:          env.topo,
+			Transport:         env.transport,
+			Balancer:          s.Factory,
+			SchemeName:        s.Name,
+			Seed:              o.Seed,
+			Flows:             figF1Flows(env, shorts, o.Seed+1),
+			Faults:            sched,
+			StopWhenDone:      true,
+			MaxTime:           120 * units.Second,
+			CollectTimeSeries: true,
+			TimeBucket:        250 * units.Millisecond,
+		})
+	}
+	results, err := o.runBatch("figF1", scs)
+	if err != nil {
+		return nil, fmt.Errorf("figF1: %w", err)
+	}
+
+	afct := Figure{ID: "figF1a", Title: "Short-flow AFCT by start time through fail/recover",
+		XLabel: "flow start time (s)", YLabel: "AFCT (s)"}
+	tput := Figure{ID: "figF1b", Title: "Long-flow goodput through fail/recover",
+		XLabel: "time (s)", YLabel: "aggregate goodput (Mbps)"}
+	bars := Figure{ID: "figF1c", Title: "Short-flow AFCT before / during / after the failure",
+		XLabel: "phase", YLabel: "AFCT (s)"}
+	for i, res := range results {
+		name := order[i]
+		afct.Series = append(afct.Series, stats.Series{
+			Name: name, Points: afctByStartTime(res, 500*units.Millisecond)})
+		tp := stats.Series{Name: name}
+		for _, p := range res.LongGoodputBytes.Rates() {
+			tp.Add(p.X, p.Y*8/1e6) // bytes/s -> Mbps
+		}
+		tput.Series = append(tput.Series, tp)
+		for _, ph := range figF1Phases(res) {
+			bars.Bars = append(bars.Bars, Bar{
+				Label: fmt.Sprintf("%s %s", name, ph.name),
+				Value: ph.afct.Seconds(),
+			})
+		}
+	}
+	return []Figure{afct, tput, bars}, nil
+}
+
+// afctByStartTime buckets finished short flows by start time and
+// returns (bucket midpoint s, mean FCT s) points.
+func afctByStartTime(res *sim.Result, bucket units.Time) []stats.Point {
+	ts := stats.NewTimeSeries(bucket.Seconds())
+	res.Each(sim.ShortFlows, func(fs *transport.FlowStats) {
+		if fs.Done {
+			ts.Add(fs.Start.Seconds(), fs.FCT().Seconds())
+		}
+	})
+	return ts.Means()
+}
+
+// phase is one failure-relative window of a figF1 run.
+type phase struct {
+	name string
+	afct units.Time
+}
+
+// figF1Phases slices short-flow AFCT by where the flow STARTED
+// relative to the failure window. Flows straddling a boundary are
+// charged to the phase they started in — the paper's testbed figures
+// use the same convention for arrival-windowed metrics.
+func figF1Phases(res *sim.Result) []phase {
+	windows := []struct {
+		name     string
+		from, to units.Time
+	}{
+		{"pre", 0, figF1FailAt},
+		{"fail", figF1FailAt, figF1RecoverAt},
+		{"post", figF1RecoverAt, figF1Window},
+	}
+	out := make([]phase, 0, len(windows))
+	for _, w := range windows {
+		var sum units.Time
+		n := 0
+		res.Each(sim.ShortFlows, func(fs *transport.FlowStats) {
+			if fs.Done && fs.Start >= w.from && fs.Start < w.to {
+				sum += fs.FCT()
+				n++
+			}
+		})
+		p := phase{name: w.name}
+		if n > 0 {
+			p.afct = sum / units.Time(n)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// FigF2 sweeps link-flap frequency: one uplink of leaf 0 flaps with a
+// 50% duty cycle at increasing frequency while the testbed workload
+// runs, and the panels report short AFCT and long goodput normalized
+// to TLB (the Fig. 13–17 presentation). The workload is figF1's
+// spread-arrival mix — the standard testbed mix front-loads its shorts
+// into the first 500 ms, before the first flap would hit anything.
+func FigF2(o Options) ([]Figure, error) {
+	xs := trim(o, []float64{4, 2, 1, 0.5}) // flap period, seconds
+	return testbedSweep(o, "figF2", "flap period on 1 link (s)", xs,
+		func(x float64) testbedEnv { return newTestbedEnv(0, 4) },
+		func(x float64, env *testbedEnv, sc *sim.Scenario) {
+			sc.Flows = figF1Flows(*env, figF1Shorts(o), o.Seed+1)
+			period := units.FromSeconds(x)
+			cycles := int(math.Ceil((8 * units.Second).Seconds() / x))
+			sc.Faults = faults.Flap(0, 2, units.Second, period/2, period/2, cycles)
+		})
+}

@@ -45,6 +45,8 @@ func Registry() []Entry {
 		{"ablation-demandcap", "—", "TLB ablation: Eq. 1 demand cap vs paper-literal", AblationDemandCap},
 		{"ablation-transport", "—", "transport ablation: DCTCP vs NewReno vs SACK vs delayed ACKs", AblationTransport},
 		{"fattree", "beyond the paper", "headline schemes on a k=4 fat-tree (two chained decisions)", FatTreeComparison},
+		{"figF1", "beyond the paper", "fault tolerance: two uplinks fail mid-run and recover 3 s later", FigF1},
+		{"figF2", "beyond the paper", "fault tolerance: flap-frequency sweep on one uplink", FigF2},
 	}
 }
 

@@ -146,7 +146,7 @@ func (p *normalizedPanels) addColumn(x float64, order []string, results map[stri
 // testbedSweep runs all schemes over a list of environment variants:
 // the whole (x x scheme) grid goes to the shared runner as one batch,
 // and the normalized columns are reduced in input order.
-func testbedSweep(o Options, prefix, xlabel string, xs []float64, mk func(x float64) testbedEnv, mut func(env *testbedEnv, sc *sim.Scenario)) ([]Figure, error) {
+func testbedSweep(o Options, prefix, xlabel string, xs []float64, mk func(x float64) testbedEnv, mut func(x float64, env *testbedEnv, sc *sim.Scenario)) ([]Figure, error) {
 	panels := newNormalizedPanels(prefix, xlabel)
 	type cell struct {
 		x      float64
@@ -169,7 +169,7 @@ func testbedSweep(o Options, prefix, xlabel string, xs []float64, mk func(x floa
 				MaxTime:      120 * units.Second,
 			}
 			if mut != nil {
-				mut(&env, &sc)
+				mut(x, &env, &sc)
 			}
 			cells = append(cells, cell{x, s.Name})
 			scs = append(scs, sc)

@@ -1,0 +1,274 @@
+// Package faults implements deterministic, schedule-driven link-fault
+// injection: a Schedule of timed events that take leaf-spine links
+// down (drops at admission, like a pulled cable), de-rate their
+// bandwidth, change their propagation delay, or restore them —
+// including flapping sequences — applied to a running simulation at
+// exact simulated times.
+//
+// The paper's §7 asymmetry experiments (Fig. 16–17) degrade links
+// statically, before the run starts; this package turns that into a
+// dynamic axis: links fail and recover mid-traffic, which is when
+// adaptive-granularity schemes have to re-detect path conditions.
+//
+// Everything is deterministic: a Schedule is explicit data, the
+// injector consumes no randomness, and events are applied in (time,
+// schedule-order) order — so a faulted run replays exactly from its
+// seed, at any sweep worker count.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"tlb/internal/eventsim"
+	"tlb/internal/netem"
+	"tlb/internal/trace"
+	"tlb/internal/units"
+)
+
+// Op is one fault operation applied to a link.
+type Op uint8
+
+// Fault operations.
+const (
+	// OpDown fails the link: every Send drops at admission
+	// (QueueStats.FaultDropped) and liveness-aware balancers route
+	// around the port. Packets already on the wire still deliver.
+	OpDown Op = iota
+	// OpRestore revives the link and resets it to the rate and delay
+	// it was built with.
+	OpRestore
+	// OpDeRate sets the link bandwidth to Event.Bandwidth, keeping the
+	// current delay. The link stays up (or down) as it was.
+	OpDeRate
+	// OpDelay sets the one-way propagation delay to Event.Delay,
+	// keeping the current bandwidth.
+	OpDelay
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpDown:
+		return "down"
+	case OpRestore:
+		return "restore"
+	case OpDeRate:
+		return "derate"
+	case OpDelay:
+		return "delay"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Direction selects which of a leaf-spine pair's two directed links an
+// event applies to. The zero value applies to both, matching the
+// paper's Fig. 16/17 convention of degrading a "link" in both
+// directions.
+type Direction uint8
+
+// Directions.
+const (
+	BothDirections Direction = iota
+	LeafToSpine
+	SpineToLeaf
+)
+
+// Event is one scheduled fault against the link(s) between a leaf and
+// a spine.
+type Event struct {
+	// At is the simulated time the fault applies.
+	At units.Time
+	// Leaf and Spine name the link pair, as in topology.LinkOverride.
+	Leaf, Spine int
+	// Dir selects the directed link(s); zero value = both directions.
+	Dir Direction
+	// Op is what happens.
+	Op Op
+	// Bandwidth is the new rate for OpDeRate (must be positive).
+	Bandwidth units.Bandwidth
+	// Delay is the new one-way propagation delay for OpDelay.
+	Delay units.Time
+}
+
+func (e Event) String() string {
+	switch e.Op {
+	case OpDeRate:
+		return fmt.Sprintf("%v leaf%d<->spine%d derate to %v", e.At, e.Leaf, e.Spine, e.Bandwidth)
+	case OpDelay:
+		return fmt.Sprintf("%v leaf%d<->spine%d delay to %v", e.At, e.Leaf, e.Spine, e.Delay)
+	default:
+		return fmt.Sprintf("%v leaf%d<->spine%d %s", e.At, e.Leaf, e.Spine, e.Op)
+	}
+}
+
+// Down builds an event failing the pair's link(s) at the given time.
+func Down(at units.Time, leaf, spine int) Event {
+	return Event{At: at, Leaf: leaf, Spine: spine, Op: OpDown}
+}
+
+// Restore builds an event reviving the pair's link(s) and resetting
+// them to their original rate and delay.
+func Restore(at units.Time, leaf, spine int) Event {
+	return Event{At: at, Leaf: leaf, Spine: spine, Op: OpRestore}
+}
+
+// DeRate builds an event setting the pair's bandwidth.
+func DeRate(at units.Time, leaf, spine int, bw units.Bandwidth) Event {
+	return Event{At: at, Leaf: leaf, Spine: spine, Op: OpDeRate, Bandwidth: bw}
+}
+
+// Delay builds an event setting the pair's one-way propagation delay.
+func Delay(at units.Time, leaf, spine int, d units.Time) Event {
+	return Event{At: at, Leaf: leaf, Spine: spine, Op: OpDelay, Delay: d}
+}
+
+// Schedule is a set of fault events for one run. Order does not
+// matter; events are applied by (At, position) order. An empty (or
+// nil) schedule injects nothing.
+type Schedule []Event
+
+// Flap returns a schedule that fails and restores the pair's link(s)
+// `cycles` times: down at start, restored downFor later, down again
+// upFor after that, and so on. The last cycle ends with a restore, so
+// the link is healthy after the flapping stops.
+func Flap(leaf, spine int, start, downFor, upFor units.Time, cycles int) Schedule {
+	if cycles <= 0 || downFor <= 0 || upFor < 0 {
+		panic(fmt.Sprintf("faults: Flap(cycles=%d, downFor=%v, upFor=%v) is not a flapping sequence",
+			cycles, downFor, upFor))
+	}
+	s := make(Schedule, 0, 2*cycles)
+	at := start
+	for c := 0; c < cycles; c++ {
+		s = append(s, Down(at, leaf, spine))
+		at += downFor
+		s = append(s, Restore(at, leaf, spine))
+		at += upFor
+	}
+	return s
+}
+
+// Validate reports the first structurally invalid event. Leaf/spine
+// range checking happens at Install time, against the actual fabric.
+func (s Schedule) Validate() error {
+	for i, e := range s {
+		switch {
+		case e.At < 0:
+			return fmt.Errorf("faults: event %d (%v) scheduled before t=0", i, e)
+		case e.Leaf < 0 || e.Spine < 0:
+			return fmt.Errorf("faults: event %d (%v) has negative link coordinates", i, e)
+		case e.Dir > SpineToLeaf:
+			return fmt.Errorf("faults: event %d (%v) has unknown direction %d", i, e, e.Dir)
+		case e.Op > OpDelay:
+			return fmt.Errorf("faults: event %d (%v) has unknown op", i, e)
+		case e.Op == OpDeRate && e.Bandwidth <= 0:
+			return fmt.Errorf("faults: event %d (%v) de-rates to a non-positive bandwidth", i, e)
+		case e.Op == OpDelay && e.Delay < 0:
+			return fmt.Errorf("faults: event %d (%v) sets a negative delay", i, e)
+		}
+	}
+	return nil
+}
+
+// Resolver maps a (leaf, spine) pair to its two directed ports:
+// leaf→spine and spine→leaf. topology.(*Fabric).LinkPorts is the
+// canonical implementation.
+type Resolver func(leaf, spine int) (up, down *netem.Port, err error)
+
+// Injector is one run's armed fault schedule.
+type Injector struct {
+	sim    *eventsim.Sim
+	tracer *trace.Tracer
+	// orig remembers each targeted port's built link configuration, so
+	// OpRestore undoes any accumulated de-rates and delay changes.
+	orig    map[*netem.Port]netem.LinkConfig
+	applied int
+}
+
+// Applied returns how many (event, port) applications have fired so
+// far — for tests and post-run sanity checks.
+func (inj *Injector) Applied() int { return inj.applied }
+
+// Install validates the schedule, resolves every targeted port against
+// the fabric, and schedules the events on the simulator. It must be
+// called before the run starts (events in the past panic in eventsim).
+// Events are applied in (At, schedule position) order. The tracer may
+// be nil.
+func Install(sim *eventsim.Sim, sched Schedule, resolve Resolver, tracer *trace.Tracer) (*Injector, error) {
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	inj := &Injector{sim: sim, tracer: tracer, orig: make(map[*netem.Port]netem.LinkConfig)}
+
+	// Stable-sort a copy by time: equal-time events keep schedule
+	// order, and eventsim breaks ties FIFO by scheduling order.
+	events := make(Schedule, len(sched))
+	copy(events, sched)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+
+	for _, ev := range events {
+		up, down, err := resolve(ev.Leaf, ev.Spine)
+		if err != nil {
+			return nil, fmt.Errorf("faults: %v: %w", ev, err)
+		}
+		var targets []*netem.Port
+		switch ev.Dir {
+		case LeafToSpine:
+			targets = []*netem.Port{up}
+		case SpineToLeaf:
+			targets = []*netem.Port{down}
+		default:
+			targets = []*netem.Port{up, down}
+		}
+		for _, p := range targets {
+			if _, ok := inj.orig[p]; !ok {
+				inj.orig[p] = p.Link()
+			}
+		}
+		ev, targets := ev, targets
+		sim.At(ev.At, func() {
+			for _, p := range targets {
+				inj.apply(ev, p)
+			}
+		})
+	}
+	return inj, nil
+}
+
+// apply executes one event against one directed port.
+func (inj *Injector) apply(ev Event, p *netem.Port) {
+	switch ev.Op {
+	case OpDown:
+		p.SetDown(true)
+	case OpRestore:
+		p.SetDown(false)
+		p.SetLink(inj.orig[p])
+	case OpDeRate:
+		l := p.Link()
+		l.Bandwidth = ev.Bandwidth
+		p.SetLink(l)
+	case OpDelay:
+		l := p.Link()
+		l.Delay = ev.Delay
+		p.SetLink(l)
+	}
+	inj.applied++
+	inj.tracer.Record(trace.Event{
+		At:    inj.sim.Now(),
+		Kind:  trace.LinkFault,
+		Where: p.Label(),
+		Note:  ev.Op.String() + noteDetail(ev),
+	})
+}
+
+// noteDetail renders the op's parameter for the trace note.
+func noteDetail(ev Event) string {
+	switch ev.Op {
+	case OpDeRate:
+		return fmt.Sprintf(" to %v", ev.Bandwidth)
+	case OpDelay:
+		return fmt.Sprintf(" to %v", ev.Delay)
+	default:
+		return ""
+	}
+}

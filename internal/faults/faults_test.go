@@ -1,0 +1,192 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"tlb/internal/eventsim"
+	"tlb/internal/netem"
+	"tlb/internal/trace"
+	"tlb/internal/units"
+)
+
+// pair builds a two-port "link" (leaf→spine, spine→leaf) and a
+// resolver that only knows coordinate (0, 0).
+func pair(s *eventsim.Sim) (up, down *netem.Port, resolve Resolver) {
+	link := netem.LinkConfig{Bandwidth: units.Gbps, Delay: 10 * units.Microsecond}
+	up = netem.NewPort(s, link, netem.QueueConfig{}, func(*netem.Packet) {}, "leaf0->spine0")
+	down = netem.NewPort(s, link, netem.QueueConfig{}, func(*netem.Packet) {}, "spine0->leaf0")
+	resolve = func(leaf, spine int) (*netem.Port, *netem.Port, error) {
+		if leaf != 0 || spine != 0 {
+			return nil, nil, errNoLink
+		}
+		return up, down, nil
+	}
+	return up, down, resolve
+}
+
+type noLinkError struct{}
+
+func (noLinkError) Error() string { return "no such link" }
+
+var errNoLink = noLinkError{}
+
+func TestInjectorAppliesScheduleInOrder(t *testing.T) {
+	s := eventsim.New()
+	up, down, resolve := pair(s)
+	tr := trace.New(0)
+	sched := Schedule{
+		// Deliberately out of time order: Install must sort.
+		Restore(3*units.Millisecond, 0, 0),
+		Down(units.Millisecond, 0, 0),
+		DeRate(5*units.Millisecond, 0, 0, 100*units.Mbps),
+		Delay(7*units.Millisecond, 0, 0, units.Millisecond),
+	}
+	inj, err := Install(s, sched, resolve, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s.RunUntil(2 * units.Millisecond)
+	if !up.Down() || !down.Down() {
+		t.Fatal("both directions should be down at t=2ms")
+	}
+	s.RunUntil(4 * units.Millisecond)
+	if up.Down() || down.Down() {
+		t.Fatal("both directions should be restored at t=4ms")
+	}
+	s.RunUntil(6 * units.Millisecond)
+	if got := up.Link().Bandwidth; got != 100*units.Mbps {
+		t.Fatalf("uplink rate at t=6ms = %v, want 100Mbps", got)
+	}
+	if got := up.Link().Delay; got != 10*units.Microsecond {
+		t.Fatalf("derate changed the delay: %v", got)
+	}
+	s.RunUntil(8 * units.Millisecond)
+	if got := down.Link().Delay; got != units.Millisecond {
+		t.Fatalf("downlink delay at t=8ms = %v, want 1ms", got)
+	}
+	if got := down.Link().Bandwidth; got != 100*units.Mbps {
+		t.Fatalf("delay change clobbered the rate: %v", got)
+	}
+	// 4 events x 2 directions.
+	if inj.Applied() != 8 {
+		t.Fatalf("Applied() = %d, want 8", inj.Applied())
+	}
+	if got := tr.Count(trace.LinkFault); got != 8 {
+		t.Fatalf("traced %d LinkFault events, want 8", got)
+	}
+}
+
+func TestRestoreUndoesAccumulatedChanges(t *testing.T) {
+	s := eventsim.New()
+	up, _, resolve := pair(s)
+	orig := up.Link()
+	sched := Schedule{
+		DeRate(units.Millisecond, 0, 0, 5*units.Mbps),
+		Delay(2*units.Millisecond, 0, 0, 4*units.Millisecond),
+		Down(3*units.Millisecond, 0, 0),
+		Restore(4*units.Millisecond, 0, 0),
+	}
+	if _, err := Install(s, sched, resolve, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if up.Down() {
+		t.Fatal("port still down after restore")
+	}
+	if got := up.Link(); got != orig {
+		t.Fatalf("restore left link at %+v, want original %+v", got, orig)
+	}
+}
+
+func TestDirectionSelectsOnePort(t *testing.T) {
+	s := eventsim.New()
+	up, down, resolve := pair(s)
+	sched := Schedule{{At: units.Millisecond, Leaf: 0, Spine: 0, Dir: LeafToSpine, Op: OpDown}}
+	if _, err := Install(s, sched, resolve, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if !up.Down() {
+		t.Fatal("leaf→spine direction not taken down")
+	}
+	if down.Down() {
+		t.Fatal("spine→leaf direction taken down by a LeafToSpine event")
+	}
+}
+
+func TestFlapGeneratesAlternatingSchedule(t *testing.T) {
+	sched := Flap(1, 2, units.Second, 100*units.Millisecond, 400*units.Millisecond, 3)
+	if len(sched) != 6 {
+		t.Fatalf("flap schedule has %d events, want 6", len(sched))
+	}
+	wantAt := []units.Time{
+		units.Second, units.Second + 100*units.Millisecond,
+		units.Second + 500*units.Millisecond, units.Second + 600*units.Millisecond,
+		units.Second + 1000*units.Millisecond, units.Second + 1100*units.Millisecond,
+	}
+	for i, e := range sched {
+		if e.At != wantAt[i] {
+			t.Fatalf("event %d at %v, want %v", i, e.At, wantAt[i])
+		}
+		wantOp := OpDown
+		if i%2 == 1 {
+			wantOp = OpRestore
+		}
+		if e.Op != wantOp {
+			t.Fatalf("event %d op %v, want %v", i, e.Op, wantOp)
+		}
+		if e.Leaf != 1 || e.Spine != 2 {
+			t.Fatalf("event %d targets (%d,%d), want (1,2)", i, e.Leaf, e.Spine)
+		}
+	}
+	if err := sched.Validate(); err != nil {
+		t.Fatalf("flap schedule invalid: %v", err)
+	}
+	// The sequence ends restored.
+	if last := sched[len(sched)-1]; last.Op != OpRestore {
+		t.Fatalf("flap ends with %v, want restore", last.Op)
+	}
+}
+
+func TestValidateRejectsBrokenEvents(t *testing.T) {
+	cases := map[string]Schedule{
+		"negative time":     {Down(-units.Second, 0, 0)},
+		"negative leaf":     {Down(0, -1, 0)},
+		"zero-rate derate":  {{At: 0, Op: OpDeRate}},
+		"negative delay":    {{At: 0, Op: OpDelay, Delay: -units.Second}},
+		"unknown direction": {{At: 0, Dir: Direction(9)}},
+	}
+	//simlint:allow maporder(each case is independent; failures name the case)
+	for name, sched := range cases {
+		if err := sched.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %v", name, sched)
+		}
+	}
+}
+
+func TestInstallRejectsUnknownLink(t *testing.T) {
+	s := eventsim.New()
+	_, _, resolve := pair(s)
+	_, err := Install(s, Schedule{Down(0, 3, 9)}, resolve, nil)
+	if err == nil || !strings.Contains(err.Error(), "no such link") {
+		t.Fatalf("Install accepted an unresolvable link: %v", err)
+	}
+}
+
+func TestEmptyScheduleInstallsNothing(t *testing.T) {
+	s := eventsim.New()
+	_, _, resolve := pair(s)
+	inj, err := Install(s, nil, resolve, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("empty schedule left %d events pending", s.Pending())
+	}
+	s.Run()
+	if inj.Applied() != 0 {
+		t.Fatalf("empty schedule applied %d operations", inj.Applied())
+	}
+}

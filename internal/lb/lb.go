@@ -9,6 +9,8 @@
 package lb
 
 import (
+	"sort"
+
 	"tlb/internal/eventsim"
 	"tlb/internal/netem"
 	"tlb/internal/units"
@@ -32,18 +34,25 @@ type Balancer interface {
 // private deterministic stream, and ports are the switch's uplinks.
 type Factory func(sim *eventsim.Sim, rng *eventsim.RNG, ports []*netem.Port) Balancer
 
-// ShortestQueue returns the index of the port with the fewest queued
-// packets, breaking ties uniformly at random so that simultaneous
-// arrivals do not herd onto one queue. It is the primitive behind
-// packet-level spraying in DRILL and TLB.
+// ShortestQueue returns the index of the live port with the fewest
+// queued packets, breaking ties uniformly at random so that
+// simultaneous arrivals do not herd onto one queue. Down ports are
+// skipped; if every port is down the choice does not matter (admission
+// drops regardless), so a fixed index keeps the run deterministic. It
+// is the primitive behind packet-level spraying in DRILL and TLB.
+//
+// With all ports up the scan consumes exactly the RNG values the
+// pre-liveness implementation did, so healthy runs replay byte-for-byte.
 func ShortestQueue(rng *eventsim.RNG, ports []*netem.Port) int {
-	best := 0
-	bestLen := ports[0].QueueLen()
-	ties := 1
-	for i := 1; i < len(ports); i++ {
-		l := ports[i].QueueLen()
+	best := -1
+	var bestLen, ties int
+	for i, p := range ports {
+		if p.Down() {
+			continue
+		}
+		l := p.QueueLen()
 		switch {
-		case l < bestLen:
+		case best < 0 || l < bestLen:
 			best, bestLen, ties = i, l, 1
 		case l == bestLen:
 			// Reservoir-sample among ties for a uniform choice.
@@ -53,22 +62,30 @@ func ShortestQueue(rng *eventsim.RNG, ports []*netem.Port) int {
 			}
 		}
 	}
+	if best < 0 {
+		return 0
+	}
 	return best
 }
 
-// LowestDelay returns the index of the port whose estimated delivery
-// delay (backlog serialization + propagation) is smallest, breaking
-// ties uniformly at random. On a symmetric fabric it coincides with
-// ShortestQueue; on an asymmetric one it avoids slow or long paths
-// that a packet-count comparison cannot see.
+// LowestDelay returns the index of the live port whose estimated
+// delivery delay (backlog serialization + propagation) is smallest,
+// breaking ties uniformly at random. On a symmetric fabric it
+// coincides with ShortestQueue; on an asymmetric one it avoids slow or
+// long paths that a packet-count comparison cannot see. Down ports are
+// skipped (fixed index 0 when all are down), with the same
+// healthy-run RNG stream as ShortestQueue.
 func LowestDelay(rng *eventsim.RNG, ports []*netem.Port) int {
-	best := 0
-	bestCost := ports[0].EstimatedDelay()
-	ties := 1
-	for i := 1; i < len(ports); i++ {
-		c := ports[i].EstimatedDelay()
+	best := -1
+	var bestCost units.Time
+	ties := 0
+	for i, p := range ports {
+		if p.Down() {
+			continue
+		}
+		c := p.EstimatedDelay()
 		switch {
-		case c < bestCost:
+		case best < 0 || c < bestCost:
 			best, bestCost, ties = i, c, 1
 		case c == bestCost:
 			ties++
@@ -77,7 +94,77 @@ func LowestDelay(rng *eventsim.RNG, ports []*netem.Port) int {
 			}
 		}
 	}
+	if best < 0 {
+		return 0
+	}
 	return best
+}
+
+// RandomLive picks a uniformly random uplink, re-drawing over only the
+// live uplinks when the first pick is down. In a healthy fabric it
+// consumes exactly one RNG value — the historical stream of the
+// random-spraying schemes — and at most two under faults.
+func RandomLive(rng *eventsim.RNG, ports []*netem.Port) int {
+	i := rng.Intn(len(ports))
+	if !ports[i].Down() {
+		return i
+	}
+	live := 0
+	for _, p := range ports {
+		if !p.Down() {
+			live++
+		}
+	}
+	if live == 0 {
+		return i
+	}
+	k := rng.Intn(live)
+	for j, p := range ports {
+		if p.Down() {
+			continue
+		}
+		if k == 0 {
+			return j
+		}
+		k--
+	}
+	return i
+}
+
+// nextLive returns the first uplink after i in cyclic order that is
+// up. With every port healthy it is the plain round-robin successor
+// (i+1) mod n, which is also the fallback when all ports are down.
+func nextLive(ports []*netem.Port, i int) int {
+	n := len(ports)
+	for d := 1; d <= n; d++ {
+		if j := (i + d) % n; !ports[j].Down() {
+			return j
+		}
+	}
+	return (i + 1) % n
+}
+
+// sortedFlowIDs returns the map's keys ordered by (Src, Dst, Port),
+// the canonical iteration order for flow-table sweeps: eviction itself
+// is order-free, but a fixed order keeps any future side effect
+// deterministic by construction.
+func sortedFlowIDs[V any](m map[netem.FlowID]V) []netem.FlowID {
+	ids := make([]netem.FlowID, 0, len(m))
+	//simlint:allow maporder(keys are collected here and sorted below before any use)
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := ids[i], ids[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		return a.Port < b.Port
+	})
+	return ids
 }
 
 // ECMP returns a factory for Equal-Cost Multi-Path: a static hash of
@@ -96,7 +183,32 @@ type ecmp struct {
 func (e *ecmp) Name() string { return "ecmp" }
 
 func (e *ecmp) Pick(pkt *netem.Packet, ports []*netem.Port) int {
-	return int(pkt.Flow.Hash(e.seed) % uint64(len(ports)))
+	// Hash onto the live uplinks only, the way a real switch's routing
+	// protocol would withdraw a dead next-hop from the ECMP group. With
+	// every port up this is exactly hash mod n — flows do not move —
+	// and flows hashed onto surviving ports stay put across a failure
+	// of some other port only if their index is below the dead one;
+	// that remap churn is inherent to hash-mod-live ECMP.
+	live := 0
+	for _, p := range ports {
+		if !p.Down() {
+			live++
+		}
+	}
+	if live == 0 {
+		return int(pkt.Flow.Hash(e.seed) % uint64(len(ports)))
+	}
+	k := int(pkt.Flow.Hash(e.seed) % uint64(live))
+	for i, p := range ports {
+		if p.Down() {
+			continue
+		}
+		if k == 0 {
+			return i
+		}
+		k--
+	}
+	return 0
 }
 
 // RPS returns a factory for Random Packet Spraying: every packet takes
@@ -115,11 +227,19 @@ type rps struct {
 func (r *rps) Name() string { return "rps" }
 
 func (r *rps) Pick(_ *netem.Packet, ports []*netem.Port) int {
-	return r.rng.Intn(len(ports))
+	return RandomLive(r.rng, ports)
 }
 
 // PrestoCell is the fixed flowcell size Presto uses (64 KB).
 const PrestoCell = 64 * units.KiB
+
+// prestoIdleTimeout is how long a Presto flow-table entry may sit
+// unused before the idle sweep reclaims it. A flow whose FIN was lost
+// at a faulted queue otherwise leaks its entry for the whole run. The
+// timeout sits far above any transport retransmission timer (max RTO
+// is 1 s), so a live-but-stalled flow is never evicted and healthy-run
+// forwarding is unchanged.
+const prestoIdleTimeout = 5 * units.Second
 
 // Presto returns a factory for Presto-style load balancing: each flow
 // is chopped into fixed-size flowcells and consecutive cells take
@@ -129,20 +249,23 @@ func Presto(cell units.Bytes) Factory {
 	if cell <= 0 {
 		cell = PrestoCell
 	}
-	return func(_ *eventsim.Sim, rng *eventsim.RNG, _ []*netem.Port) Balancer {
-		return &presto{cell: cell, rng: rng, flows: make(map[netem.FlowID]*prestoFlow)}
+	return func(sim *eventsim.Sim, rng *eventsim.RNG, _ []*netem.Port) Balancer {
+		return &presto{sim: sim, cell: cell, rng: rng, flows: make(map[netem.FlowID]*prestoFlow)}
 	}
 }
 
 type presto struct {
-	cell  units.Bytes
-	rng   *eventsim.RNG
-	flows map[netem.FlowID]*prestoFlow
+	sim        *eventsim.Sim
+	cell       units.Bytes
+	rng        *eventsim.RNG
+	flows      map[netem.FlowID]*prestoFlow
+	sweepArmed bool
 }
 
 type prestoFlow struct {
-	port   int
-	inCell units.Bytes
+	port     int
+	inCell   units.Bytes
+	lastSeen units.Time
 }
 
 func (p *presto) Name() string { return "presto" }
@@ -152,22 +275,52 @@ func (p *presto) Pick(pkt *netem.Packet, ports []*netem.Port) int {
 	// statelessly: they never carry FIN, so flow-table entries created
 	// for reverse-direction ACK streams would survive the whole run.
 	if pkt.IsShortHeader() {
-		return p.rng.Intn(len(ports))
+		return RandomLive(p.rng, ports)
 	}
 	f, ok := p.flows[pkt.Flow]
 	if !ok {
-		f = &prestoFlow{port: p.rng.Intn(len(ports))}
+		f = &prestoFlow{port: RandomLive(p.rng, ports)}
 		p.flows[pkt.Flow] = f
+		p.armSweep()
 	}
+	f.lastSeen = p.sim.Now()
 	if f.inCell >= p.cell {
 		f.inCell = 0
-		f.port = (f.port + 1) % len(ports)
+		f.port = nextLive(ports, f.port)
+	} else if ports[f.port].Down() {
+		// The cell's path died mid-cell: move the remainder to the next
+		// live uplink rather than blackholing it until the cell fills.
+		f.port = nextLive(ports, f.port)
 	}
 	f.inCell += pkt.Wire
 	if pkt.FIN {
 		delete(p.flows, pkt.Flow)
 	}
 	return f.port
+}
+
+// armSweep schedules the idle sweep lazily — only while the table is
+// non-empty — so a drained simulation has no pending balancer events
+// and Run() terminates.
+func (p *presto) armSweep() {
+	if p.sweepArmed {
+		return
+	}
+	p.sweepArmed = true
+	p.sim.After(prestoIdleTimeout, p.sweep)
+}
+
+func (p *presto) sweep() {
+	p.sweepArmed = false
+	now := p.sim.Now()
+	for _, id := range sortedFlowIDs(p.flows) {
+		if now-p.flows[id].lastSeen >= prestoIdleTimeout {
+			delete(p.flows, id)
+		}
+	}
+	if len(p.flows) > 0 {
+		p.armSweep()
+	}
 }
 
 // LetFlowGap is the default flowlet inactivity timeout (150 µs, the
@@ -178,6 +331,14 @@ const LetFlowGap = 150 * units.Microsecond
 // previous packet exceeds the flowlet timeout, the flow(let) is
 // re-routed to a uniformly random uplink; otherwise it sticks. This is
 // also the paper's "flowlet-level granularity" scheme.
+// letflowSweepPeriod is how often LetFlow reclaims idle flow-table
+// entries (flows whose FIN was lost at a faulted queue). Eviction is
+// behaviour-neutral: an entry idle longer than the flowlet gap would
+// re-pick a random port on its next packet anyway, and a table miss
+// draws from the same RNG stream — so healthy runs are byte-identical
+// with or without the sweep.
+const letflowSweepPeriod = 500 * units.Millisecond
+
 func LetFlow(gap units.Time) Factory {
 	if gap <= 0 {
 		gap = LetFlowGap
@@ -188,10 +349,11 @@ func LetFlow(gap units.Time) Factory {
 }
 
 type letflow struct {
-	sim   *eventsim.Sim
-	gap   units.Time
-	rng   *eventsim.RNG
-	flows map[netem.FlowID]*letflowFlow
+	sim        *eventsim.Sim
+	gap        units.Time
+	rng        *eventsim.RNG
+	flows      map[netem.FlowID]*letflowFlow
+	sweepArmed bool
 }
 
 type letflowFlow struct {
@@ -206,15 +368,18 @@ func (l *letflow) Pick(pkt *netem.Packet, ports []*netem.Port) int {
 	// pure ACKs never carry FIN, so tracking them would leak one table
 	// entry per reverse-direction stream for the whole run.
 	if pkt.IsShortHeader() {
-		return l.rng.Intn(len(ports))
+		return RandomLive(l.rng, ports)
 	}
 	now := l.sim.Now()
 	f, ok := l.flows[pkt.Flow]
 	if !ok {
-		f = &letflowFlow{port: l.rng.Intn(len(ports))}
+		f = &letflowFlow{port: RandomLive(l.rng, ports)}
 		l.flows[pkt.Flow] = f
-	} else if now-f.lastSeen > l.gap {
-		f.port = l.rng.Intn(len(ports))
+		l.armSweep()
+	} else if now-f.lastSeen > l.gap || ports[f.port].Down() {
+		// Gap expiry is the scheme's own re-pick rule; a dead current
+		// port forces one too — sticking would blackhole the flowlet.
+		f.port = RandomLive(l.rng, ports)
 	}
 	f.lastSeen = now
 	if pkt.FIN {
@@ -222,6 +387,28 @@ func (l *letflow) Pick(pkt *netem.Packet, ports []*netem.Port) int {
 		return f.port
 	}
 	return f.port
+}
+
+// armSweep schedules the idle sweep lazily, as in presto.armSweep.
+func (l *letflow) armSweep() {
+	if l.sweepArmed {
+		return
+	}
+	l.sweepArmed = true
+	l.sim.After(letflowSweepPeriod, l.sweep)
+}
+
+func (l *letflow) sweep() {
+	l.sweepArmed = false
+	now := l.sim.Now()
+	for _, id := range sortedFlowIDs(l.flows) {
+		if now-l.flows[id].lastSeen > l.gap {
+			delete(l.flows, id)
+		}
+	}
+	if len(l.flows) > 0 {
+		l.armSweep()
+	}
 }
 
 // DRILL returns a factory for DRILL(d, m): per packet, sample d random
@@ -252,6 +439,9 @@ func (d *drill) Pick(_ *netem.Packet, ports []*netem.Port) int {
 	best := -1
 	bestLen := 0
 	consider := func(i int) {
+		if ports[i].Down() {
+			return
+		}
 		l := ports[i].QueueLen()
 		if best < 0 || l < bestLen {
 			best, bestLen = i, l
@@ -264,6 +454,19 @@ func (d *drill) Pick(_ *netem.Packet, ports []*netem.Port) int {
 		if i < len(ports) {
 			consider(i)
 		}
+	}
+	if best < 0 {
+		// Every sampled and remembered uplink is down: fall back to a
+		// scan for any live port (fixed index 0 if none remain).
+		for i := range ports {
+			if !ports[i].Down() {
+				consider(i)
+				break
+			}
+		}
+	}
+	if best < 0 {
+		best = 0
 	}
 	if d.m > 0 {
 		if len(d.memory) < d.m {

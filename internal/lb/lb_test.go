@@ -123,10 +123,11 @@ func TestLetFlowSticksWithinFlowlet(t *testing.T) {
 	b := LetFlow(gap)(s, eventsim.NewRNG(1), ports)
 	flow := netem.FlowID{Src: 1, Dst: 2}
 	first := b.Pick(dataPkt(flow, 1460), ports)
-	// Packets 10µs apart: same flowlet, same port.
+	// Packets 10µs apart: same flowlet, same port. (RunUntil, not Run:
+	// the idle sweep keeps an event pending while the table is
+	// non-empty, and Run would fast-forward straight to it.)
 	for i := 0; i < 50; i++ {
-		s.After(10*units.Microsecond, func() {})
-		s.Run()
+		s.RunUntil(s.Now() + 10*units.Microsecond)
 		if got := b.Pick(dataPkt(flow, 1460), ports); got != first {
 			t.Fatalf("letflow switched within flowlet gap")
 		}
@@ -142,8 +143,7 @@ func TestLetFlowSwitchesAfterGap(t *testing.T) {
 	seen := map[int]bool{}
 	for i := 0; i < 50; i++ {
 		seen[b.Pick(dataPkt(flow, 1460), ports)] = true
-		s.After(gap+units.Microsecond, func() {})
-		s.Run()
+		s.RunUntil(s.Now() + gap + units.Microsecond)
 	}
 	if len(seen) < 2 {
 		t.Fatal("letflow never rerouted across idle gaps")

@@ -5,6 +5,7 @@ import (
 
 	"tlb/internal/eventsim"
 	"tlb/internal/netem"
+	"tlb/internal/units"
 )
 
 // ackPkt builds a header-only pure ACK as the reverse direction of a
@@ -100,5 +101,70 @@ func TestStatelessRoutingDeterminism(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("ACK routing diverged at %d: %v vs %v", i, a, b)
 		}
+	}
+}
+
+// driveFlowsLosingFIN pushes n flows through the balancer but "loses"
+// every FIN upstream: the packet mix of a run where a flow's closing
+// packets die at a faulted queue before reaching this switch. Without
+// an idle sweep these entries leak for the rest of the run.
+func driveFlowsLosingFIN(b Balancer, ports []*netem.Port, n int) {
+	for i := 0; i < n; i++ {
+		flow := netem.FlowID{Src: i, Dst: 1000 + i, Port: i}
+		b.Pick(&netem.Packet{Flow: flow, Kind: netem.Syn, Wire: 40}, ports)
+		for j := 0; j < 5; j++ {
+			b.Pick(dataPkt(flow, 1460), ports)
+		}
+		// FIN dropped at the faulted queue: the balancer never sees it.
+	}
+}
+
+// TestPrestoIdleSweepReclaimsLostFINs: entries orphaned by FINs lost at
+// a faulted queue must drain once the flows go idle, and the sweep must
+// disarm afterwards so the event queue can empty.
+func TestPrestoIdleSweepReclaimsLostFINs(t *testing.T) {
+	b, ports, s := newBal(t, Presto(0), 4)
+	driveFlowsLosingFIN(b, ports, 50)
+	if n := len(b.(*presto).flows); n != 50 {
+		t.Fatalf("table holds %d entries before the sweep, want 50", n)
+	}
+	s.Run()
+	if n := len(b.(*presto).flows); n != 0 {
+		t.Fatalf("presto table holds %d orphaned entries after idle sweep, want 0", n)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("%d events still pending after the table drained", s.Pending())
+	}
+}
+
+// TestLetFlowIdleSweepReclaimsLostFINs is the LetFlow counterpart.
+func TestLetFlowIdleSweepReclaimsLostFINs(t *testing.T) {
+	b, ports, s := newBal(t, LetFlow(0), 4)
+	driveFlowsLosingFIN(b, ports, 50)
+	if n := len(b.(*letflow).flows); n != 50 {
+		t.Fatalf("table holds %d entries before the sweep, want 50", n)
+	}
+	s.Run()
+	if n := len(b.(*letflow).flows); n != 0 {
+		t.Fatalf("letflow table holds %d orphaned entries after idle sweep, want 0", n)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("%d events still pending after the table drained", s.Pending())
+	}
+}
+
+// TestIdleSweepSparesLiveFlows: a flow that keeps sending (e.g. one
+// retransmitting across a fault, max RTO 1s) must never be evicted by
+// the Presto sweep, or its round-robin cell position would reset.
+func TestIdleSweepSparesLiveFlows(t *testing.T) {
+	b, ports, s := newBal(t, Presto(0), 4)
+	flow := netem.FlowID{Src: 1, Dst: 2}
+	deadline := 12 * units.Second
+	for s.Now() < deadline {
+		b.Pick(dataPkt(flow, 1460), ports)
+		s.RunUntil(s.Now() + units.Second)
+	}
+	if n := len(b.(*presto).flows); n != 1 {
+		t.Fatalf("live flow evicted: table size %d, want 1", n)
 	}
 }

@@ -57,7 +57,7 @@ func (f Finding) String() string {
 var simPackages = map[string]bool{
 	"eventsim": true, "netem": true, "transport": true, "core": true,
 	"lb": true, "model": true, "workload": true, "topology": true,
-	"trace": true, "stats": true, "units": true,
+	"trace": true, "stats": true, "units": true, "faults": true,
 }
 
 // isSimPackage reports whether the import path denotes simulation code:

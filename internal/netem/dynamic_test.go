@@ -1,0 +1,240 @@
+package netem
+
+import (
+	"testing"
+
+	"tlb/internal/eventsim"
+	"tlb/internal/units"
+)
+
+// TestEstimatedDelayChargesResidual is the regression for the
+// estimator bug where the in-service packet's remaining serialization
+// (lastFinish − now) was not charged: a port midway through a frame on
+// a slow link looked as cheap as an idle one. Two unequal-rate ports,
+// one packet each.
+func TestEstimatedDelayChargesResidual(t *testing.T) {
+	s := eventsim.New()
+	fast := NewPort(s, LinkConfig{Bandwidth: units.Gbps, Delay: 10 * units.Microsecond},
+		QueueConfig{}, func(*Packet) {}, "fast")
+	slow := NewPort(s, LinkConfig{Bandwidth: 100 * units.Mbps, Delay: 10 * units.Microsecond},
+		QueueConfig{}, func(*Packet) {}, "slow")
+	fast.Send(pkt(1500))
+	slow.Send(pkt(1500)) // serializes for 120µs, until t=120µs
+
+	// At t=0 the whole frame is still ahead: delay + own tx + resid.
+	if got, want := fast.EstimatedDelay(), (10+12+12)*units.Microsecond; got != want {
+		t.Fatalf("fast estimate at t=0 = %v, want %v", got, want)
+	}
+	if got, want := slow.EstimatedDelay(), (10+120+120)*units.Microsecond; got != want {
+		t.Fatalf("slow estimate at t=0 = %v, want %v", got, want)
+	}
+
+	// At t=100µs the slow port is mid-frame: 20µs of serialization
+	// remain and must be charged. (The old waiting-bytes backlog term
+	// was zero here — the frame is in service, not waiting.)
+	s.RunUntil(100 * units.Microsecond)
+	if got, want := fast.EstimatedDelay(), (10+12)*units.Microsecond; got != want {
+		t.Fatalf("fast estimate at t=100µs = %v, want %v", got, want)
+	}
+	if got, want := slow.EstimatedDelay(), (10+120+20)*units.Microsecond; got != want {
+		t.Fatalf("slow estimate at t=100µs = %v, want %v (residual not charged?)", got, want)
+	}
+}
+
+// TestEstimatedDelayCountsWaitingBacklog: with several packets queued,
+// the estimate covers the full committed backlog, not just the
+// in-service packet.
+func TestEstimatedDelayCountsWaitingBacklog(t *testing.T) {
+	s := eventsim.New()
+	p := NewPort(s, testLink, QueueConfig{}, func(*Packet) {}, "t")
+	for i := 0; i < 3; i++ {
+		p.Send(pkt(1500))
+	}
+	// Backlog drains at t=36µs; estimate = delay + own tx + 36µs.
+	if got, want := p.EstimatedDelay(), (10+12+36)*units.Microsecond; got != want {
+		t.Fatalf("estimate = %v, want %v", got, want)
+	}
+}
+
+// TestMaxQueueSeenOnlyOnAdmission is the regression for the accounting
+// bug where a dropped packet recorded the queue length it was rejected
+// at, polluting the per-packet queue-seen distribution (Fig. 3a).
+func TestMaxQueueSeenOnlyOnAdmission(t *testing.T) {
+	s := eventsim.New()
+	p := NewPort(s, testLink, QueueConfig{Capacity: 3}, func(*Packet) {}, "t")
+	var admitted []*Packet
+	for i := 0; i < 4; i++ {
+		pk := pkt(1500)
+		if !p.Send(pk) {
+			t.Fatalf("packet %d unexpectedly dropped", i)
+		}
+		admitted = append(admitted, pk)
+	}
+	dropped := pkt(1500)
+	if p.Send(dropped) {
+		t.Fatal("5th packet should have hit the 3-packet cap")
+	}
+	if dropped.MaxQueueSeen != 0 {
+		t.Fatalf("dropped packet recorded MaxQueueSeen=%d, want 0", dropped.MaxQueueSeen)
+	}
+	// The last admitted packet saw 2 waiting ahead of it.
+	if got := admitted[3].MaxQueueSeen; got != 2 {
+		t.Fatalf("last admitted packet MaxQueueSeen=%d, want 2", got)
+	}
+	// SumLenOnArrival intentionally still counts the dropped arrival.
+	if got := p.Queue().Stats().SumLenOnArrival; got != 0+0+1+2+3 {
+		t.Fatalf("SumLenOnArrival=%d, want 6", got)
+	}
+}
+
+// TestDownPortDropsAtAdmission: a down port fails Send, counts the drop
+// in FaultDropped (not Dropped), and still delivers what was already
+// committed to the wire.
+func TestDownPortDropsAtAdmission(t *testing.T) {
+	s := eventsim.New()
+	delivered := 0
+	p := NewPort(s, testLink, QueueConfig{Capacity: 100}, func(*Packet) { delivered++ }, "t")
+	if !p.Send(pkt(1500)) {
+		t.Fatal("send on healthy port failed")
+	}
+	p.SetDown(true)
+	if !p.Down() {
+		t.Fatal("Down() = false after SetDown(true)")
+	}
+	for i := 0; i < 3; i++ {
+		if p.Send(pkt(1500)) {
+			t.Fatal("send on down port succeeded")
+		}
+	}
+	s.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered %d, want 1 (in-flight packet survives the failure)", delivered)
+	}
+	st := p.Queue().Stats()
+	if st.FaultDropped != 3 {
+		t.Fatalf("FaultDropped=%d, want 3", st.FaultDropped)
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("Dropped=%d, want 0 (fault drops are not buffer drops)", st.Dropped)
+	}
+	p.SetDown(false)
+	if !p.Send(pkt(1500)) {
+		t.Fatal("send after revival failed")
+	}
+	s.Run()
+	if delivered != 2 {
+		t.Fatalf("delivered %d after revival, want 2", delivered)
+	}
+}
+
+// TestSetLinkDeRateAppliesAtAdmission: a committed packet keeps its
+// old-rate schedule; the next admission serializes at the new rate
+// starting where the old backlog ends.
+func TestSetLinkDeRateAppliesAtAdmission(t *testing.T) {
+	s := eventsim.New()
+	var times []units.Time
+	p := NewPort(s, testLink, QueueConfig{}, func(*Packet) { times = append(times, s.Now()) }, "t")
+	p.Send(pkt(1500)) // 12µs tx at 1 Gbps, delivery at 22µs
+	p.SetLink(LinkConfig{Bandwidth: 100 * units.Mbps, Delay: 10 * units.Microsecond})
+	p.Send(pkt(1500)) // starts at 12µs, 120µs tx, delivery at 142µs
+	s.Run()
+	want := []units.Time{22 * units.Microsecond, 142 * units.Microsecond}
+	if len(times) != 2 || times[0] != want[0] || times[1] != want[1] {
+		t.Fatalf("deliveries at %v, want %v", times, want)
+	}
+}
+
+// TestSetLinkDelayDecreaseKeepsFIFO: shrinking the propagation delay
+// mid-run must not let a later packet's delivery event fire before an
+// earlier one's — deliver() pops the FIFO head, so that would hand the
+// wrong packet to the handler.
+func TestSetLinkDelayDecreaseKeepsFIFO(t *testing.T) {
+	s := eventsim.New()
+	type arrival struct {
+		pkt *Packet
+		at  units.Time
+	}
+	var got []arrival
+	p := NewPort(s, LinkConfig{Bandwidth: units.Gbps, Delay: units.Millisecond},
+		QueueConfig{}, func(pk *Packet) { got = append(got, arrival{pk, s.Now()}) }, "t")
+	first := pkt(1500)
+	p.Send(first) // delivery at 12µs + 1ms = 1012µs
+	p.SetLink(LinkConfig{Bandwidth: units.Gbps, Delay: 0})
+	second := pkt(1500)
+	p.Send(second)
+	s.Run()
+	if len(got) != 2 || got[0].pkt != first || got[1].pkt != second {
+		t.Fatalf("FIFO violated: got %d arrivals, first-is-first=%v", len(got), len(got) == 2 && got[0].pkt == first)
+	}
+	if got[1].at < got[0].at {
+		t.Fatalf("second delivery (%v) before first (%v)", got[1].at, got[0].at)
+	}
+	// The second admission was re-anchored behind the first delivery:
+	// it starts serializing no earlier than 1012µs, arriving 12µs later.
+	if want := 1024 * units.Microsecond; got[1].at != want {
+		t.Fatalf("second delivery at %v, want %v", got[1].at, want)
+	}
+}
+
+// TestEntryRingWrapAroundGrowth exercises grow() with a non-zero head:
+// the ring must preserve FIFO order when it doubles while wrapped.
+func TestEntryRingWrapAroundGrowth(t *testing.T) {
+	var r entryRing
+	next := 0
+	push := func(n int) {
+		for i := 0; i < n; i++ {
+			r.push(queueEntry{serviceStart: units.Time(next)})
+			next++
+		}
+	}
+	expect := 0
+	pop := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			e := r.pop()
+			if e.serviceStart != units.Time(expect) {
+				t.Fatalf("pop #%d = %v, want %v", expect, e.serviceStart, units.Time(expect))
+			}
+			expect++
+		}
+	}
+	push(16) // fills the initial capacity exactly
+	pop(10)  // head now mid-buffer
+	push(10) // wraps around the end
+	if r.len() != 16 {
+		t.Fatalf("len=%d, want 16", r.len())
+	}
+	push(5) // n == cap with head != 0: grow() must unwrap correctly
+	// Random access must also see the post-growth order.
+	for i := 0; i < r.len(); i++ {
+		if got := r.at(i).serviceStart; got != units.Time(expect+i) {
+			t.Fatalf("at(%d) = %v, want %v", i, got, units.Time(expect+i))
+		}
+	}
+	pop(r.len())
+	if r.len() != 0 {
+		t.Fatalf("ring not empty after draining")
+	}
+}
+
+// TestPopDeliveredWithoutAdvance reaches popDelivered's
+// not-yet-started accounting branch: when no occupancy query ever ran
+// advance(), delivery itself must settle the entry's Dequeued/BytesOut
+// accounting.
+func TestPopDeliveredWithoutAdvance(t *testing.T) {
+	s := eventsim.New()
+	p := NewPort(s, testLink, QueueConfig{}, func(*Packet) {}, "t")
+	pk := pkt(1500)
+	p.Send(pk) // admit on an empty queue runs advance on nothing
+	s.Run()
+	st := p.Queue().Stats()
+	if st.Dequeued != 1 || st.BytesOut != pk.Wire {
+		t.Fatalf("Dequeued=%d BytesOut=%d, want 1 and %d", st.Dequeued, st.BytesOut, pk.Wire)
+	}
+	if got := p.Queue().Bytes(s.Now()); got != 0 {
+		t.Fatalf("waiting bytes after drain = %d, want 0", got)
+	}
+	if got := p.QueueLen(); got != 0 {
+		t.Fatalf("queue length after drain = %d, want 0", got)
+	}
+}

@@ -235,11 +235,12 @@ func TestEstimatedDelay(t *testing.T) {
 	if got := p.EstimatedDelay(); got != testLink.Delay+ownTx {
 		t.Fatalf("empty EstimatedDelay = %v, want %v", got, testLink.Delay+ownTx)
 	}
-	// 3 packets of 1500B: first is in service (not waiting), two wait.
+	// 3 packets of 1500B: the committed backlog — the in-service
+	// packet's residual plus the two waiting — drains 36µs from now.
 	for i := 0; i < 3; i++ {
 		p.Send(pkt(1500))
 	}
-	want := testLink.Delay + ownTx + testLink.Bandwidth.TxTime(2*1500)
+	want := testLink.Delay + ownTx + testLink.Bandwidth.TxTime(3*1500)
 	if got := p.EstimatedDelay(); got != want {
 		t.Fatalf("EstimatedDelay with backlog = %v, want %v", got, want)
 	}

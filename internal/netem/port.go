@@ -15,11 +15,16 @@ type LinkConfig struct {
 }
 
 // Port is a switch (or host NIC) output: a FIFO queue drained by a
-// directed link. Because the queue is FIFO and the link delay fixed,
-// every packet's service start, service end and delivery time are known
-// the moment it is admitted; the port therefore schedules exactly one
-// simulator event per packet (its delivery) and the queue evaluates its
-// own occupancy lazily from the precomputed service times.
+// directed link. Because the queue is FIFO, every packet's service
+// start, service end and delivery time are known the moment it is
+// admitted; the port therefore schedules exactly one simulator event
+// per packet (its delivery) and the queue evaluates its own occupancy
+// lazily from the precomputed service times.
+//
+// Link parameters are dynamic: SetLink re-rates or re-delays the link
+// mid-run and SetDown fails the port entirely (see internal/faults).
+// Changes apply at admission time — packets already committed to the
+// wire keep the schedule computed when they were admitted.
 type Port struct {
 	sim  *eventsim.Sim
 	link LinkConfig
@@ -29,6 +34,15 @@ type Port struct {
 	// lastFinish is when the most recently admitted packet finishes
 	// serializing; the next packet starts at max(now, lastFinish).
 	lastFinish units.Time
+	// lastDelivery is the latest delivery time scheduled so far. SetLink
+	// re-anchors lastFinish against it so that a mid-run delay decrease
+	// cannot let a later packet's delivery event beat an earlier one's
+	// (deliver pops the FIFO head, so delivery events must stay in
+	// admission order).
+	lastDelivery units.Time
+	// down marks a failed link: Send drops at admission, like a pulled
+	// cable, and liveness-aware balancers route around the port.
+	down bool
 	// busyNs accumulates serialization time for utilization accounting.
 	busyNs units.Time
 	// deliverFn is the single pre-bound delivery callback reused for
@@ -57,8 +71,39 @@ func (p *Port) Queue() *Queue { return p.q }
 // queue-length-based load balancer in this repo consults.
 func (p *Port) QueueLen() int { return p.q.Len(p.sim.Now()) }
 
-// Link returns the link configuration.
+// Link returns the current link configuration.
 func (p *Port) Link() LinkConfig { return p.link }
+
+// Down reports whether the port's link is failed.
+func (p *Port) Down() bool { return p.down }
+
+// SetDown fails (true) or revives (false) the port's link. While down,
+// Send drops every packet at admission and counts it in
+// QueueStats.FaultDropped. Packets admitted before the failure were
+// already committed to the wire and still deliver — the model drops at
+// admission, not in flight.
+func (p *Port) SetDown(down bool) { p.down = down }
+
+// SetLink re-parameterizes the link at the current simulated time. The
+// new rate and delay apply to packets admitted from now on; packets
+// already admitted keep the service and delivery times computed at
+// their admission (they are on the wire). lastFinish is re-anchored so
+// the next admission stays causally consistent: it can start no
+// earlier than now, and — if the propagation delay shrank — no earlier
+// than would keep its delivery behind every delivery already
+// scheduled.
+func (p *Port) SetLink(link LinkConfig) {
+	if link.Bandwidth <= 0 {
+		panic("netem: SetLink with non-positive bandwidth")
+	}
+	if now := p.sim.Now(); p.lastFinish < now {
+		p.lastFinish = now
+	}
+	if floor := p.lastDelivery - link.Delay; p.lastFinish < floor {
+		p.lastFinish = floor
+	}
+	p.link = link
+}
 
 // Label returns the port's diagnostic name.
 func (p *Port) Label() string { return p.label }
@@ -74,24 +119,37 @@ func (p *Port) BusyTime() units.Time { return p.busyNs }
 const refWire units.Bytes = 1500
 
 // EstimatedDelay returns the time a full-size packet enqueued now would
-// take to reach the far end: the backlog's serialization time, its own
-// serialization time, and the link's propagation delay. Unlike the raw
-// queue length, this is comparable across ports of different speeds and
-// delays, which is what a load balancer needs on an asymmetric fabric.
-// (All inputs — port rate and configured link delay — are local switch
-// knowledge.) Across equal-speed ports the own-packet term is a shared
-// constant, so orderings there match the queue-length comparison.
+// take to reach the far end: the committed backlog's remaining
+// serialization time, its own serialization time, and the link's
+// propagation delay. Unlike the raw queue length, this is comparable
+// across ports of different speeds and delays, which is what a load
+// balancer needs on an asymmetric fabric. (All inputs — port rate,
+// configured link delay and the admission-time service schedule — are
+// local switch knowledge.) Across equal-speed ports the own-packet term
+// is a shared constant, so orderings there match the queue-length
+// comparison.
+//
+// The backlog term is lastFinish − now: exactly when the wire goes
+// idle. This charges the residual serialization of the in-service
+// packet too — a port midway through a large frame on a slow link is
+// not as cheap as an empty one — and stays exact across mid-run rate
+// changes, because each packet's finish time was fixed at admission.
 func (p *Port) EstimatedDelay() units.Time {
 	d := p.link.Delay + p.link.Bandwidth.TxTime(refWire)
-	if backlog := p.q.Bytes(p.sim.Now()); backlog > 0 {
-		d += p.link.Bandwidth.TxTime(backlog)
+	if resid := p.lastFinish - p.sim.Now(); resid > 0 {
+		d += resid
 	}
 	return d
 }
 
 // Send enqueues the packet for transmission. It reports false when the
-// packet was dropped at the queue.
+// packet was dropped at the queue, or dropped at admission because the
+// link is down.
 func (p *Port) Send(pkt *Packet) bool {
+	if p.down {
+		p.q.faultDrop()
+		return false
+	}
 	now := p.sim.Now()
 	start := now
 	if p.lastFinish > start {
@@ -104,7 +162,11 @@ func (p *Port) Send(pkt *Packet) bool {
 	finish := start + tx
 	p.lastFinish = finish
 	p.busyNs += tx
-	p.sim.At(finish+p.link.Delay, p.deliverFn)
+	deliverAt := finish + p.link.Delay
+	if deliverAt > p.lastDelivery {
+		p.lastDelivery = deliverAt
+	}
+	p.sim.At(deliverAt, p.deliverFn)
 	return true
 }
 

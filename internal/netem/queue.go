@@ -23,6 +23,11 @@ type QueueStats struct {
 	BytesIn  units.Bytes
 	BytesOut units.Bytes
 	Dequeued int64
+	// FaultDropped counts packets dropped at admission because the
+	// port's link was down (internal/faults), kept separate from
+	// Dropped so buffer-overflow statistics are not polluted by
+	// injected failures.
+	FaultDropped int64
 	// SumLenOnArrival sums the queue length seen by each arriving
 	// packet (before it joins); with Enqueued+Dropped it yields the
 	// mean queue length experienced by arrivals — the quantity Fig. 3a
@@ -99,12 +104,15 @@ func (q *Queue) Config() QueueConfig { return q.cfg }
 func (q *Queue) admit(p *Packet, now, serviceStart units.Time) bool {
 	l := q.Len(now)
 	q.stats.SumLenOnArrival += int64(l)
-	if l > p.MaxQueueSeen {
-		p.MaxQueueSeen = l
-	}
 	if q.cfg.Capacity > 0 && l >= q.cfg.Capacity {
 		q.stats.Dropped++
 		return false
+	}
+	// Per-packet queue-seen stats (Fig. 3a input) record only admitted
+	// packets: a dropped packet never experiences the queue, and its
+	// copy will be retransmitted with fresh counters.
+	if l > p.MaxQueueSeen {
+		p.MaxQueueSeen = l
 	}
 	if q.cfg.ECNThreshold > 0 && l >= q.cfg.ECNThreshold {
 		p.CE = true
@@ -121,6 +129,9 @@ func (q *Queue) admit(p *Packet, now, serviceStart units.Time) bool {
 	}
 	return true
 }
+
+// faultDrop records an admission drop at a down port.
+func (q *Queue) faultDrop() { q.stats.FaultDropped++ }
 
 // popDelivered removes and returns the oldest entry (its delivery
 // event has fired).

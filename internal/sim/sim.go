@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"tlb/internal/eventsim"
+	"tlb/internal/faults"
 	"tlb/internal/lb"
 	"tlb/internal/netem"
 	"tlb/internal/stats"
@@ -60,6 +61,12 @@ type Scenario struct {
 	// copy to finish. The losing copies run to completion in the
 	// background, which is RepFlow's documented bandwidth cost.
 	Replication *ReplicationConfig
+
+	// Faults is the run's link-fault schedule (down / flap / de-rate /
+	// delay at scheduled sim times; see internal/faults). Empty injects
+	// nothing. Requires the default leaf-spine fabric: the schedule
+	// addresses links by (leaf, spine) pair.
+	Faults faults.Schedule
 
 	// Tracer, when non-nil, records flow lifecycle and retransmission
 	// events for post-run inspection (see internal/trace). Packet-level
@@ -117,6 +124,9 @@ type Result struct {
 	Flows          []*transport.FlowStats
 	EndTime        units.Time
 	Drops          int64
+	// FaultDrops counts packets dropped at down ports anywhere in the
+	// fabric (admission drops of the fault injector, not buffer drops).
+	FaultDrops     int64
 	ShortThreshold units.Bytes
 
 	// Uplinks snapshots every leaf uplink port (the equal-cost paths).
@@ -172,6 +182,15 @@ func Run(sc Scenario) (*Result, error) {
 	}
 	if err != nil {
 		return nil, fmt.Errorf("sim: scenario %q: %w", sc.Name, err)
+	}
+	if len(sc.Faults) > 0 {
+		fab, ok := net.(*topology.Fabric)
+		if !ok {
+			return nil, fmt.Errorf("sim: scenario %q: fault schedule requires the leaf-spine fabric", sc.Name)
+		}
+		if _, err := faults.Install(s, sc.Faults, fab.LinkPorts, sc.Tracer); err != nil {
+			return nil, fmt.Errorf("sim: scenario %q: %w", sc.Name, err)
+		}
 	}
 	hosts = make([]*transport.Host, net.Hosts())
 	for h := range hosts {
@@ -255,6 +274,9 @@ func Run(sc Scenario) (*Result, error) {
 
 	res.EndTime = s.Now()
 	res.Drops = net.Drops()
+	net.EveryQueue(func(_ string, q *netem.Queue) {
+		res.FaultDrops += q.Stats().FaultDropped
+	})
 	for _, p := range net.BalancedPorts() {
 		res.Uplinks = append(res.Uplinks, PortSnapshot{
 			Label:    p.Label(),

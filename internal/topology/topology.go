@@ -231,6 +231,17 @@ func (f *Fabric) Drops() int64 {
 // Uplinks returns the uplink ports of a leaf, for instrumentation.
 func (f *Fabric) Uplinks(leaf int) []*netem.Port { return f.leaves[leaf].up }
 
+// LinkPorts returns the two directed ports of a leaf-spine pair:
+// leaf→spine and spine→leaf. It is the canonical faults.Resolver for
+// this fabric.
+func (f *Fabric) LinkPorts(leaf, spine int) (up, down *netem.Port, err error) {
+	if leaf < 0 || leaf >= f.cfg.Leaves || spine < 0 || spine >= f.cfg.Spines {
+		return nil, nil, fmt.Errorf("topology: link (leaf%d, spine%d) out of range (%d leaves, %d spines)",
+			leaf, spine, f.cfg.Leaves, f.cfg.Spines)
+	}
+	return f.leaves[leaf].up[spine], f.spines[spine].down[leaf], nil
+}
+
 // DownlinksOfSpine returns a spine's per-leaf downlinks, for
 // instrumentation.
 func (f *Fabric) DownlinksOfSpine(spine int) []*netem.Port { return f.spines[spine].down }

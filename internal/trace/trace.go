@@ -36,6 +36,9 @@ const (
 	Retransmit
 	// Mark: a packet was CE-marked.
 	Mark
+	// LinkFault: the fault injector changed a link's state (down,
+	// restore, de-rate, delay); the note carries the operation.
+	LinkFault
 )
 
 var kindNames = [...]string{
@@ -47,6 +50,7 @@ var kindNames = [...]string{
 	Reroute:    "REROUTE",
 	Retransmit: "RETX",
 	Mark:       "MARK",
+	LinkFault:  "FAULT",
 }
 
 func (k EventKind) String() string {
