@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench ci
+.PHONY: build test vet lint race bench bench-all alloc-gates ci
 
 build:
 	$(GO) build ./...
@@ -24,8 +24,26 @@ lint:
 race:
 	$(GO) test -race ./...
 
+# bench produces the tracked baseline (BENCH_4.json, "after" section):
+# the engine micro-benchmarks at a statistically useful -benchtime plus
+# the three figure-scale benchmarks at one iteration each. The raw
+# lines inside the JSON stay benchstat-compatible. The "before" section
+# is historical (captured at the pre-freelist commit) and is preserved
+# by the merge.
 bench:
+	( $(GO) test -bench 'BenchmarkEventQueue|BenchmarkPortTransit' -benchtime 2s -run '^$$' . \
+	  && $(GO) test -bench 'BenchmarkFig8ShortFlows|BenchmarkFig10WebSearch|BenchmarkFig13VaryShort' -benchtime 1x -timeout 30m -run '^$$' . ) \
+	| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_4.json -section after
+
+# bench-all runs every benchmark once, without touching BENCH_4.json —
+# a quick "do they all still run" check.
+bench-all:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# alloc-gates runs just the zero-allocation contract tests (they are
+# also part of `make test`, this target is the fast inner loop).
+alloc-gates:
+	$(GO) test -run 'TestAllocGate' -count 1 -v .
 
 # smoke runs one small end-to-end figure — the fault-injection
 # experiment, which crosses every layer (faults -> netem -> lb/core ->
@@ -34,5 +52,6 @@ smoke:
 	$(GO) run ./cmd/experiments -fig figF1 -flows 60 -workers 2 -q >/dev/null
 
 # ci is the gate: static checks (vet + simlint), the full test suite,
-# the race detector over all packages, and the end-to-end smoke run.
-ci: build vet lint test race smoke
+# the zero-allocation gates, the race detector over all packages, and
+# the end-to-end smoke run.
+ci: build vet lint test alloc-gates race smoke

@@ -1,0 +1,130 @@
+// Allocation gates: these tests pin the zero-allocation contract of
+// the engine hot path (DESIGN.md "Engine performance"). They are part
+// of the ordinary test suite, so `go test ./...` and `make ci` fail if
+// a change reintroduces per-event or per-packet allocation.
+package tlb_test
+
+import (
+	"testing"
+
+	"tlb/internal/eventsim"
+	"tlb/internal/netem"
+	"tlb/internal/units"
+)
+
+// TestAllocGateEventScheduleCancel: a steady-state At+Cancel cycle —
+// the pattern every transport timer re-arm executes — must not
+// allocate once the event freelist is warm.
+func TestAllocGateEventScheduleCancel(t *testing.T) {
+	s := eventsim.New()
+	fn := func() {}
+	cycle := func() { s.Cancel(s.At(s.Now()+1, fn)) }
+	for i := 0; i < 4096; i++ {
+		cycle()
+	}
+	if allocs := testing.AllocsPerRun(5000, cycle); allocs != 0 {
+		t.Fatalf("At+Cancel cycle allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestAllocGateEventScheduleFire: a steady-state At+fire cycle must
+// not allocate either — firing releases the node back to the freelist
+// the next At pops from.
+func TestAllocGateEventScheduleFire(t *testing.T) {
+	s := eventsim.New()
+	fn := func() {}
+	cycle := func() {
+		s.At(s.Now()+1, fn)
+		if !s.Step() {
+			t.Fatal("nothing to step")
+		}
+	}
+	for i := 0; i < 4096; i++ {
+		cycle()
+	}
+	if allocs := testing.AllocsPerRun(5000, cycle); allocs != 0 {
+		t.Fatalf("At+fire cycle allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestAllocGateAtArg: the closure-free (fn, arg) scheduling variant
+// with a pointer-typed argument must not allocate in steady state
+// (this is the Port delivery path).
+func TestAllocGateAtArg(t *testing.T) {
+	s := eventsim.New()
+	type payload struct{ n int }
+	arg := &payload{}
+	fn := func(a any) { a.(*payload).n++ }
+	cycle := func() {
+		s.AtArg(s.Now()+1, fn, arg)
+		if !s.Step() {
+			t.Fatal("nothing to step")
+		}
+	}
+	for i := 0; i < 4096; i++ {
+		cycle()
+	}
+	if allocs := testing.AllocsPerRun(5000, cycle); allocs != 0 {
+		t.Fatalf("AtArg+fire cycle allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestAllocGatePortTransit: the full per-packet path — pool Get,
+// Port.Send (queue admission + delivery scheduling), serialization,
+// delivery, pool release — must be allocation-free in steady state.
+func TestAllocGatePortTransit(t *testing.T) {
+	s := eventsim.New()
+	pool := netem.NewPacketPool()
+	p := netem.NewPort(s,
+		netem.LinkConfig{Bandwidth: units.Gbps, Delay: 10 * units.Microsecond},
+		netem.QueueConfig{Capacity: 1 << 20},
+		func(pkt *netem.Packet) { pool.Put(pkt) }, "gate")
+	transit := func() {
+		pkt := pool.Get()
+		pkt.Flow = netem.FlowID{Src: 1, Dst: 2}
+		pkt.Kind = netem.Data
+		pkt.Payload = 1460
+		pkt.Wire = 1500
+		if !p.Send(pkt) {
+			t.Fatal("send refused")
+		}
+		s.Run()
+	}
+	for i := 0; i < 4096; i++ {
+		transit()
+	}
+	if allocs := testing.AllocsPerRun(2000, transit); allocs != 0 {
+		t.Fatalf("steady-state port transit allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestAllocGatePortTransitPipelined covers the burst shape the real
+// fabric produces — many packets admitted before the drain runs — so
+// the queue ring and heap exercise depth > 1.
+func TestAllocGatePortTransitPipelined(t *testing.T) {
+	s := eventsim.New()
+	pool := netem.NewPacketPool()
+	p := netem.NewPort(s,
+		netem.LinkConfig{Bandwidth: units.Gbps, Delay: 10 * units.Microsecond},
+		netem.QueueConfig{Capacity: 1 << 20},
+		func(pkt *netem.Packet) { pool.Put(pkt) }, "gate")
+	burst := func() {
+		for i := 0; i < 64; i++ {
+			pkt := pool.Get()
+			pkt.Flow = netem.FlowID{Src: 1, Dst: 2}
+			pkt.Kind = netem.Data
+			pkt.Payload = 1460
+			pkt.Wire = 1500
+			if !p.Send(pkt) {
+				t.Fatal("send refused")
+			}
+		}
+		s.Run()
+	}
+	for i := 0; i < 256; i++ {
+		burst()
+	}
+	if allocs := testing.AllocsPerRun(500, burst); allocs != 0 {
+		t.Fatalf("steady-state 64-deep transit burst allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,149 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// tracked JSON baseline (BENCH_4.json). Each invocation fills one
+// section ("before" or "after") and merges with any sections already in
+// the output file, so the before/after pair can be produced by separate
+// runs:
+//
+//	go test -bench 'BenchmarkEventQueue|BenchmarkPortTransit' . | benchjson -out BENCH_4.json -section after
+//
+// The raw benchmark lines are preserved verbatim (benchstat-compatible:
+// `jq -r '.after.raw[]' BENCH_4.json | benchstat /dev/stdin` works), and
+// each line is also parsed into name / iterations / metric map so CI or
+// scripts can compare allocs/op and ns/op without reparsing.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark name with any -GOMAXPROCS suffix stripped
+	// (BenchmarkPortTransit-8 -> BenchmarkPortTransit) so before/after
+	// sections compare by stable keys.
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	// Metrics maps unit -> value, e.g. "ns/op", "B/op", "allocs/op",
+	// "events/sec". encoding/json emits map keys sorted, so the file is
+	// deterministic.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Section is one before/after half of the baseline file.
+type Section struct {
+	// Context holds the goos/goarch/pkg/cpu header lines.
+	Context []string `json:"context,omitempty"`
+	// Raw holds the benchmark result lines verbatim.
+	Raw []string `json:"raw"`
+	// Benchmarks holds the parsed form of Raw.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_4.json", "output JSON file (merged if it exists)")
+	section := flag.String("section", "after", `section to write: "before" or "after"`)
+	flag.Parse()
+	if *section != "before" && *section != "after" {
+		fmt.Fprintf(os.Stderr, "benchjson: -section must be \"before\" or \"after\", got %q\n", *section)
+		os.Exit(2)
+	}
+
+	sec, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(sec.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+
+	file := map[string]*Section{}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &file); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: existing %s is not valid JSON: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	file[*section] = sec
+
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s section %q\n",
+		len(sec.Benchmarks), *out, *section)
+}
+
+func parse(sc *bufio.Scanner) (*Section, error) {
+	sec := &Section{}
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), " \t")
+		switch {
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			sec.Context = append(sec.Context, line)
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseLine(line)
+			if !ok {
+				continue // e.g. a bare "BenchmarkFoo" name line before its result
+			}
+			sec.Raw = append(sec.Raw, line)
+			sec.Benchmarks = append(sec.Benchmarks, b)
+		}
+	}
+	return sec, sc.Err()
+}
+
+// parseLine parses "BenchmarkName-8 123 45.6 ns/op 0 B/op 0 allocs/op".
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Name:       strings.TrimRight(fields[0], "-0123456789"),
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	// Undo over-trimming of names that legitimately end in a digit
+	// (none today, but keep the GOMAXPROCS strip precise).
+	if i := strings.LastIndexByte(fields[0], '-'); i < 0 || !allDigits(fields[0][i+1:]) {
+		b.Name = fields[0]
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+func allDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}

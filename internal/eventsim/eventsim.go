@@ -18,6 +18,16 @@
 // simulator (millions of packets, each several events), and the 4-ary
 // layout plus direct comparisons (no interface dispatch) roughly halves
 // its cost.
+//
+// Event storage is recycled through a per-Sim freelist so steady-state
+// scheduling allocates nothing: nodes are carved in blocks, released
+// back when an event fires or is cancelled, and reused LIFO. Handles
+// (the exported Event value) carry a generation counter so a stale
+// handle to a recycled node is inert — Cancel and Scheduled on it are
+// no-ops rather than acting on whatever event happens to occupy the
+// node now. The freelist is a plain slice, not a sync.Pool: the engine
+// is single-goroutine, and sync.Pool's GC-driven emptying would make
+// reuse order (and therefore heap node addresses) vary across runs.
 package eventsim
 
 import (
@@ -33,35 +43,64 @@ type Time = units.Time
 // maxTime is the largest representable simulated time.
 const maxTime = Time(1<<63 - 1)
 
-// Event is a scheduled callback. The zero value is meaningless; events
-// are created by Sim.At and Sim.After and may be cancelled with Cancel.
-type Event struct {
-	at   Time
-	seq  uint64 // tie-break: FIFO among equal times
-	fn   func()
-	heap int32 // index in the heap, -1 once popped or cancelled
+// event is the engine-internal node for one scheduled callback. Nodes
+// live in a per-Sim freelist and are recycled; gen is bumped at every
+// release so stale Event handles cannot resurrect a recycled node.
+type event struct {
+	at  Time
+	seq uint64 // tie-break: FIFO among equal times
+	// Exactly one of fn / fnArg is set. The (fnArg, arg) pair lets hot
+	// callers schedule a pre-bound function plus argument without
+	// building a capturing closure per event.
+	fn    func()
+	fnArg func(any)
+	arg   any
+	gen   uint64
+	heap  int32 // index in the heap, -1 once popped or cancelled
 }
 
-// At returns the time the event is scheduled for.
-func (e *Event) At() Time { return e.at }
+// Event is a handle to a scheduled callback. It is a value: copy it
+// freely, keep it after the event fired, cancel it twice — a handle
+// whose event already ran or was cancelled no longer matches its
+// node's generation and every operation on it is a no-op. The zero
+// value is a valid never-scheduled handle.
+type Event struct {
+	e   *event
+	gen uint64
+	at  Time
+}
+
+// At returns the time the event was scheduled for (valid even after
+// the event fired; zero for the zero handle).
+func (h Event) At() Time { return h.at }
 
 // Scheduled reports whether the event is still pending.
-func (e *Event) Scheduled() bool { return e != nil && e.heap >= 0 }
+func (h Event) Scheduled() bool { return h.e != nil && h.gen == h.e.gen }
 
 // Sim is a discrete-event simulator instance.
 type Sim struct {
 	now     Time
-	heap    []*Event
+	heap    []*event
 	seq     uint64
 	stopped bool
 	// executed counts events run so far; useful for progress reporting
 	// and for bounding runaway simulations in tests.
 	executed uint64
+	// free is the recycled-node stack (LIFO, deterministic).
+	free []*event
 }
+
+// eventBlock is how many nodes one freelist refill carves at once, so
+// warmup pays one allocation per block instead of one per event.
+const eventBlock = 64
+
+// initialHeapCap pre-sizes the pending queue; typical runs hold a few
+// hundred in-flight events (one per packet on the wire plus timers).
+const initialHeapCap = 512
 
 // New returns an empty simulator with the clock at zero.
 func New() *Sim {
-	return &Sim{}
+	return &Sim{heap: make([]*event, 0, initialHeapCap)}
 }
 
 // Now returns the current simulated time.
@@ -73,43 +112,105 @@ func (s *Sim) Executed() uint64 { return s.executed }
 // Pending returns the number of events currently scheduled.
 func (s *Sim) Pending() int { return len(s.heap) }
 
-// At schedules fn to run at absolute time t. Scheduling in the past
-// (t < Now) panics: it is always a modelling bug, and silently
-// reordering time corrupts every metric downstream.
-func (s *Sim) At(t Time, fn func()) *Event {
+// alloc pops a recycled node, refilling the freelist with a fresh
+// block when it runs dry.
+func (s *Sim) alloc() *event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return e
+	}
+	blk := make([]event, eventBlock)
+	for i := range blk {
+		blk[i].heap = -1
+	}
+	for i := eventBlock - 1; i >= 1; i-- {
+		s.free = append(s.free, &blk[i])
+	}
+	return &blk[0]
+}
+
+// release invalidates every outstanding handle to the node and returns
+// it to the freelist. Callback references are cleared so the freelist
+// does not pin closures or their captures.
+func (s *Sim) release(e *event) {
+	e.gen++
+	e.fn = nil
+	e.fnArg = nil
+	e.arg = nil
+	e.heap = -1
+	s.free = append(s.free, e)
+}
+
+func (s *Sim) schedule(t Time, fn func(), fnArg func(any), arg any) Event {
 	if t < s.now {
 		panic(fmt.Sprintf("eventsim: scheduling at %v before now %v", t, s.now))
 	}
+	e := s.alloc()
+	e.at = t
+	e.seq = s.seq
+	e.fn = fn
+	e.fnArg = fnArg
+	e.arg = arg
+	s.seq++
+	s.push(e)
+	return Event{e: e, gen: e.gen, at: t}
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// (t < Now) panics: it is always a modelling bug, and silently
+// reordering time corrupts every metric downstream.
+func (s *Sim) At(t Time, fn func()) Event {
 	if fn == nil {
 		panic("eventsim: nil event function")
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn}
-	s.seq++
-	s.push(e)
-	return e
+	return s.schedule(t, fn, nil, nil)
 }
 
 // After schedules fn to run d after the current time.
-func (s *Sim) After(d Time, fn func()) *Event {
+func (s *Sim) After(d Time, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("eventsim: negative delay %v", d))
 	}
 	return s.At(s.now+d, fn)
 }
 
+// AtArg schedules fn(arg) at absolute time t. It exists for hot paths
+// that would otherwise build a capturing closure per event: a stored
+// func(any) plus a pointer-typed arg costs no allocation per call.
+func (s *Sim) AtArg(t Time, fn func(any), arg any) Event {
+	if fn == nil {
+		panic("eventsim: nil event function")
+	}
+	return s.schedule(t, nil, fn, arg)
+}
+
+// AfterArg schedules fn(arg) to run d after the current time.
+func (s *Sim) AfterArg(d Time, fn func(any), arg any) Event {
+	if d < 0 {
+		panic(fmt.Sprintf("eventsim: negative delay %v", d))
+	}
+	return s.AtArg(s.now+d, fn, arg)
+}
+
 // Cancel removes a pending event. Cancelling an event that already ran
 // (or was already cancelled) is a no-op, so callers may cancel timers
-// unconditionally.
-func (s *Sim) Cancel(e *Event) {
-	if e == nil || e.heap < 0 {
+// unconditionally; the generation check makes this safe even after the
+// event's node has been recycled for a different event.
+func (s *Sim) Cancel(h Event) {
+	if h.e == nil || h.gen != h.e.gen {
 		return
 	}
-	s.remove(int(e.heap))
-	e.heap = -1
+	s.remove(int(h.e.heap))
+	s.release(h.e)
 }
 
 // Stop makes the current Run/RunUntil call return after the in-flight
-// event finishes. Pending events stay queued.
+// event finishes. Pending events stay queued. A Stop issued while no
+// Run is in progress is remembered: the next Run/RunUntil call returns
+// immediately (consuming the Stop), so a stop decided between runs is
+// not silently lost.
 func (s *Sim) Stop() { s.stopped = true }
 
 // Run executes events until the queue is empty or Stop is called.
@@ -120,8 +221,9 @@ func (s *Sim) Run() {
 // RunUntil executes events with time <= deadline, then sets the clock to
 // the deadline (if it is ahead) and returns. Events beyond the deadline
 // stay queued, so a later RunUntil can continue the same simulation.
+// A pending Stop (from before the call or issued by an event) ends the
+// call early and is consumed on return.
 func (s *Sim) RunUntil(deadline Time) {
-	s.stopped = false
 	for len(s.heap) > 0 && !s.stopped {
 		e := s.heap[0]
 		if e.at > deadline {
@@ -130,14 +232,16 @@ func (s *Sim) RunUntil(deadline Time) {
 		s.popHead()
 		s.now = e.at
 		s.executed++
-		e.fn()
+		s.invoke(e)
 	}
 	if !s.stopped && s.now < deadline && deadline < maxTime {
 		s.now = deadline
 	}
+	s.stopped = false
 }
 
 // Step runs exactly one event and reports whether one was available.
+// Step ignores a pending Stop (it is an explicit single-step request).
 func (s *Sim) Step() bool {
 	if len(s.heap) == 0 {
 		return false
@@ -146,12 +250,25 @@ func (s *Sim) Step() bool {
 	s.popHead()
 	s.now = e.at
 	s.executed++
-	e.fn()
+	s.invoke(e)
 	return true
 }
 
+// invoke releases the node and then runs the callback, so the callback
+// itself can schedule new events into the just-freed node and a
+// handle's Scheduled goes false for the duration of its own callback.
+func (s *Sim) invoke(e *event) {
+	fn, fnArg, arg := e.fn, e.fnArg, e.arg
+	s.release(e)
+	if fn != nil {
+		fn()
+	} else {
+		fnArg(arg)
+	}
+}
+
 // before reports heap ordering: earlier time first, FIFO within a time.
-func before(a, b *Event) bool {
+func before(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
@@ -159,7 +276,7 @@ func before(a, b *Event) bool {
 }
 
 // push inserts the event into the 4-ary heap.
-func (s *Sim) push(e *Event) {
+func (s *Sim) push(e *event) {
 	s.heap = append(s.heap, e)
 	s.up(len(s.heap) - 1)
 }
@@ -253,7 +370,7 @@ type Ticker struct {
 	sim    *Sim
 	period Time
 	fn     func()
-	ev     *Event
+	ev     Event
 	tickFn func()
 	active bool
 }
@@ -287,7 +404,10 @@ func (t *Ticker) tick() {
 	}
 }
 
-// Stop cancels the pending tick and deactivates the ticker.
+// Stop cancels the pending tick and deactivates the ticker. The stale
+// handle kept after Stop is harmless: its generation no longer matches
+// once the node is recycled, so a later Stop cannot cancel an
+// unrelated event.
 func (t *Ticker) Stop() {
 	t.active = false
 	t.sim.Cancel(t.ev)

@@ -86,7 +86,7 @@ func TestCancel(t *testing.T) {
 func TestCancelMiddleOfHeap(t *testing.T) {
 	s := New()
 	var fired []int
-	evs := make([]*Event, 20)
+	evs := make([]Event, 20)
 	for i := 0; i < 20; i++ {
 		i := i
 		evs[i] = s.At(Time(i), func() { fired = append(fired, i) })
@@ -189,7 +189,7 @@ func TestHeapPropertyRandomOps(t *testing.T) {
 	check := func(seed uint64) bool {
 		rng := NewRNG(seed)
 		s := New()
-		var live []*Event
+		var live []Event
 		lastFired := Time(-1)
 		ok := true
 		record := func(at Time) func() {

@@ -132,6 +132,11 @@ type Packet struct {
 	// this packet) encountered on admission at any hop — the
 	// "queueing length experienced by each packet" of Fig. 3a.
 	MaxQueueSeen int
+
+	// pooled guards PacketPool ownership: true while the packet sits
+	// in a freelist, so a double release panics instead of silently
+	// aliasing two live packets onto one struct.
+	pooled bool
 }
 
 // SackBlock is one selectively-acknowledged byte range [Start, End).

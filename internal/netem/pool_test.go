@@ -1,0 +1,120 @@
+package netem
+
+import (
+	"testing"
+
+	"tlb/internal/eventsim"
+	"tlb/internal/units"
+)
+
+func TestPacketPoolRecyclesZeroed(t *testing.T) {
+	pp := NewPacketPool()
+	p := pp.Get()
+	p.Flow = FlowID{Src: 1, Dst: 2, Port: 3}
+	p.Kind = Ack
+	p.Seq = 1000
+	p.Payload = 1460
+	p.Wire = 1500
+	p.Ack = 99
+	p.SackBlocks[0] = SackBlock{Start: 1, End: 2}
+	p.SackCount = 1
+	p.CE = true
+	p.ECNEcho = true
+	p.FIN = true
+	p.SentAt = 7
+	p.EnqueuedAt = 8
+	p.Retransmit = true
+	p.QueueDelay = 9
+	p.MaxQueueSeen = 10
+	pp.Put(p)
+
+	q := pp.Get()
+	if q != p {
+		t.Fatal("pool did not recycle the released packet")
+	}
+	if *q != (Packet{}) {
+		t.Fatalf("recycled packet not zeroed: %+v", *q)
+	}
+	if pp.Recycled() != 1 || pp.Allocated() != 1 {
+		t.Fatalf("counters: allocated=%d recycled=%d, want 1/1", pp.Allocated(), pp.Recycled())
+	}
+}
+
+// TestPacketPoolLIFO pins deterministic reuse order: last released,
+// first reused. Determinism of reuse order is part of the byte-identity
+// contract (any accidental coupling to it must at least be stable).
+func TestPacketPoolLIFO(t *testing.T) {
+	pp := NewPacketPool()
+	a, b := pp.Get(), pp.Get()
+	pp.Put(a)
+	pp.Put(b)
+	if pp.Idle() != 2 {
+		t.Fatalf("idle = %d, want 2", pp.Idle())
+	}
+	if got := pp.Get(); got != b {
+		t.Fatal("pool is not LIFO: first Get after Put(a), Put(b) was not b")
+	}
+	if got := pp.Get(); got != a {
+		t.Fatal("pool is not LIFO: second Get was not a")
+	}
+}
+
+func TestPacketPoolDoublePutPanics(t *testing.T) {
+	pp := NewPacketPool()
+	p := pp.Get()
+	pp.Put(p)
+	defer func() {
+		if recover() == nil {
+			t.Error("double Put did not panic")
+		}
+	}()
+	pp.Put(p)
+}
+
+// TestNilPacketPool: a nil pool degrades to plain allocation so
+// standalone endpoints and tests need no wiring.
+func TestNilPacketPool(t *testing.T) {
+	var pp *PacketPool
+	p := pp.Get()
+	if p == nil {
+		t.Fatal("nil pool Get returned nil")
+	}
+	pp.Put(p) // must not panic
+	if pp.Idle() != 0 || pp.Allocated() != 0 || pp.Recycled() != 0 {
+		t.Fatal("nil pool reported non-zero stats")
+	}
+}
+
+// TestPortTransitSteadyStateAllocFree is the engine-level allocation
+// gate at the netem layer: once the pool, freelist and queue ring are
+// warm, a full send+serialize+deliver+release cycle through a Port
+// must not allocate at all.
+func TestPortTransitSteadyStateAllocFree(t *testing.T) {
+	s := eventsim.New()
+	pp := NewPacketPool()
+	p := NewPort(s,
+		LinkConfig{Bandwidth: units.Gbps, Delay: 10 * units.Microsecond},
+		QueueConfig{Capacity: 1 << 20},
+		func(pkt *Packet) { pp.Put(pkt) }, "gate")
+
+	transit := func() {
+		pkt := pp.Get()
+		pkt.Flow = FlowID{Src: 1, Dst: 2}
+		pkt.Kind = Data
+		pkt.Payload = 1460
+		pkt.Wire = 1500
+		if !p.Send(pkt) {
+			t.Fatal("send refused")
+		}
+		s.Run()
+	}
+	for i := 0; i < 4096; i++ { // warm pool, freelist, ring
+		transit()
+	}
+	if allocs := testing.AllocsPerRun(2000, transit); allocs != 0 {
+		t.Fatalf("steady-state port transit allocates %.1f allocs/op, want 0", allocs)
+	}
+	if pp.Allocated() > 2 {
+		t.Fatalf("pool allocated %d packets for a 1-deep pipeline", pp.Allocated())
+	}
+}

@@ -45,10 +45,6 @@ type Port struct {
 	down bool
 	// busyNs accumulates serialization time for utilization accounting.
 	busyNs units.Time
-	// deliverFn is the single pre-bound delivery callback reused for
-	// every packet (deliveries fire in FIFO order, so it always pops
-	// the head).
-	deliverFn func()
 	// label is a human-readable identity for traces and tests.
 	label string
 }
@@ -58,9 +54,7 @@ func NewPort(sim *eventsim.Sim, link LinkConfig, qcfg QueueConfig, dst Handler, 
 	if link.Bandwidth <= 0 {
 		panic("netem: port with non-positive bandwidth")
 	}
-	p := &Port{sim: sim, link: link, q: NewQueue(qcfg), dst: dst, label: label}
-	p.deliverFn = p.deliver
-	return p
+	return &Port{sim: sim, link: link, q: NewQueue(qcfg), dst: dst, label: label}
 }
 
 // Queue exposes the port's queue (read-mostly: load balancers consult
@@ -166,12 +160,16 @@ func (p *Port) Send(pkt *Packet) bool {
 	if deliverAt > p.lastDelivery {
 		p.lastDelivery = deliverAt
 	}
-	p.sim.At(deliverAt, p.deliverFn)
+	p.sim.AtArg(deliverAt, portDeliver, p)
 	return true
 }
 
-// deliver fires when the head packet has finished propagating.
-func (p *Port) deliver() {
-	pkt := p.q.popDelivered()
-	p.dst(pkt)
+// portDeliver is the delivery callback shared by every port and every
+// packet: scheduled through AtArg with the port as the argument (a
+// pointer, so the any-conversion does not allocate), it keeps Send
+// closure-free. Deliveries fire in FIFO order, so it always pops the
+// head.
+func portDeliver(arg any) {
+	p := arg.(*Port)
+	p.dst(p.q.popDelivered())
 }

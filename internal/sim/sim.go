@@ -156,6 +156,12 @@ func Run(sc Scenario) (*Result, error) {
 
 	s := eventsim.New()
 	rng := eventsim.NewRNG(sc.Seed)
+	// One packet pool per run: endpoints allocate from it, and the
+	// hosts (delivery) and fabric (drops) release back to it, making
+	// the steady-state packet path allocation-free. Per-run ownership
+	// keeps parallel sweep workers from sharing any mutable state.
+	pool := netem.NewPacketPool()
+	sc.Transport.Pool = pool
 
 	res := &Result{
 		Scenario:       sc.Name,
@@ -192,10 +198,12 @@ func Run(sc Scenario) (*Result, error) {
 			return nil, fmt.Errorf("sim: scenario %q: %w", sc.Name, err)
 		}
 	}
+	net.SetPool(pool)
 	hosts = make([]*transport.Host, net.Hosts())
 	for h := range hosts {
 		host := h
 		hosts[h] = transport.NewHost(s, h, func(pkt *netem.Packet) { net.Inject(host, pkt) })
+		hosts[h].SetPool(pool)
 	}
 
 	remaining := len(sc.Flows)

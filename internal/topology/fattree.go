@@ -23,6 +23,10 @@ type Network interface {
 	BalancedPorts() []*netem.Port
 	// EveryQueue visits every queue in the network.
 	EveryQueue(fn func(label string, q *netem.Queue))
+	// SetPool makes the network release dropped packets back to the
+	// run's packet pool (a switch observing Port.Send refuse a packet
+	// is that packet's terminal sink). Nil disables releasing.
+	SetPool(pool *netem.PacketPool)
 }
 
 // Compile-time checks.
@@ -76,6 +80,7 @@ type FatTree struct {
 
 	deliver DeliverFunc
 	drops   int64
+	pool    *netem.PacketPool
 }
 
 type edgeSwitch struct {
@@ -222,13 +227,23 @@ func (f *FatTree) edgeOf(h int) *edgeSwitch {
 	return f.edges[p*half+e]
 }
 
+// SetPool implements Network: dropped packets are released to pool.
+func (f *FatTree) SetPool(pool *netem.PacketPool) { f.pool = pool }
+
+// drop counts a refused packet and releases it: the switch that saw
+// Send refuse the packet is its terminal sink.
+func (f *FatTree) drop(pkt *netem.Packet) {
+	f.drops++
+	f.pool.Put(pkt)
+}
+
 // Inject implements Network.
 func (f *FatTree) Inject(host int, pkt *netem.Packet) {
 	if pkt.Flow.Src != host {
 		panic(fmt.Sprintf("topology: host %d injecting packet with src %d", host, pkt.Flow.Src))
 	}
 	if !f.hostNIC[host].Send(pkt) {
-		f.drops++
+		f.drop(pkt)
 	}
 }
 
@@ -287,7 +302,7 @@ func (e *edgeSwitch) receive(pkt *netem.Packet) {
 	dstEdge := f.edgeOf(dst)
 	if dstEdge == e {
 		if !e.down[f.hostSlot(dst)].Send(pkt) {
-			f.drops++
+			f.drop(pkt)
 		}
 		return
 	}
@@ -297,7 +312,7 @@ func (e *edgeSwitch) receive(pkt *netem.Packet) {
 		panic(fmt.Sprintf("topology: balancer %s picked invalid edge uplink %d", e.bal.Name(), idx))
 	}
 	if !e.up[idx].Send(pkt) {
-		f.drops++
+		f.drop(pkt)
 	}
 }
 
@@ -305,7 +320,7 @@ func (e *edgeSwitch) receive(pkt *netem.Packet) {
 func (e *edgeSwitch) receiveDown(pkt *netem.Packet) {
 	f := e.f
 	if !e.down[f.hostSlot(pkt.Flow.Dst)].Send(pkt) {
-		f.drops++
+		f.drop(pkt)
 	}
 }
 
@@ -319,7 +334,7 @@ func (a *aggSwitch) receiveUp(pkt *netem.Packet) {
 		perPod := half * half
 		e := (dst % perPod) / half
 		if !a.down[e].Send(pkt) {
-			f.drops++
+			f.drop(pkt)
 		}
 		return
 	}
@@ -329,7 +344,7 @@ func (a *aggSwitch) receiveUp(pkt *netem.Packet) {
 		panic(fmt.Sprintf("topology: balancer %s picked invalid agg uplink %d", a.bal.Name(), idx))
 	}
 	if !a.up[idx].Send(pkt) {
-		f.drops++
+		f.drop(pkt)
 	}
 }
 
@@ -341,13 +356,13 @@ func (a *aggSwitch) receiveDown(pkt *netem.Packet) {
 	dst := pkt.Flow.Dst
 	e := (dst % perPod) / half
 	if !a.down[e].Send(pkt) {
-		f.drops++
+		f.drop(pkt)
 	}
 }
 
 func (c *coreSwitch) receive(pkt *netem.Packet) {
 	f := c.f
 	if !c.down[f.podOf(pkt.Flow.Dst)].Send(pkt) {
-		f.drops++
+		f.drop(pkt)
 	}
 }

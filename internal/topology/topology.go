@@ -96,6 +96,7 @@ type Fabric struct {
 
 	deliver DeliverFunc
 	drops   int64
+	pool    *netem.PacketPool
 }
 
 type leafSwitch struct {
@@ -210,6 +211,16 @@ func (f *Fabric) BalancedPorts() []*netem.Port {
 // LeafOf returns the leaf index of a host.
 func (f *Fabric) LeafOf(host int) int { return host / f.cfg.HostsPerLeaf }
 
+// SetPool implements Network: dropped packets are released to pool.
+func (f *Fabric) SetPool(pool *netem.PacketPool) { f.pool = pool }
+
+// drop counts a refused packet and releases it: the switch that saw
+// Send refuse the packet is its terminal sink.
+func (f *Fabric) drop(pkt *netem.Packet) {
+	f.drops++
+	f.pool.Put(pkt)
+}
+
 // Inject sends a packet from the given host into the network through
 // the host's NIC. Routing is by pkt.Flow.Dst.
 func (f *Fabric) Inject(host int, pkt *netem.Packet) {
@@ -217,7 +228,7 @@ func (f *Fabric) Inject(host int, pkt *netem.Packet) {
 		panic(fmt.Sprintf("topology: host %d injecting packet with src %d", host, pkt.Flow.Src))
 	}
 	if !f.hostNIC[host].Send(pkt) {
-		f.drops++
+		f.drop(pkt)
 	}
 }
 
@@ -278,7 +289,7 @@ func (l *leafSwitch) receive(pkt *netem.Packet) {
 	if l.f.LeafOf(dst) == l.id {
 		local := dst % l.f.cfg.HostsPerLeaf
 		if !l.down[local].Send(pkt) {
-			l.f.drops++
+			l.f.drop(pkt)
 		}
 		return
 	}
@@ -287,13 +298,13 @@ func (l *leafSwitch) receive(pkt *netem.Packet) {
 		panic(fmt.Sprintf("topology: balancer %s picked invalid uplink %d of %d", l.bal.Name(), idx, len(l.up)))
 	}
 	if !l.up[idx].Send(pkt) {
-		l.f.drops++
+		l.f.drop(pkt)
 	}
 }
 
 func (s *spineSwitch) receive(pkt *netem.Packet) {
 	leaf := s.f.LeafOf(pkt.Flow.Dst)
 	if !s.down[leaf].Send(pkt) {
-		s.f.drops++
+		s.f.drop(pkt)
 	}
 }

@@ -12,6 +12,7 @@
 package transport
 
 import (
+	"tlb/internal/netem"
 	"tlb/internal/units"
 )
 
@@ -64,6 +65,14 @@ type Config struct {
 	// hole per RTT / go-back-N on timeout). Off by default to match
 	// the paper's NS2 TCP.
 	SACK bool
+
+	// Pool, when non-nil, supplies the Packet structs every endpoint
+	// emits, so steady-state sending allocates nothing. It must be the
+	// run's single per-simulation pool (sim.Run installs one and also
+	// hands it to the fabric and hosts, which own the release points —
+	// see netem.PacketPool for the ownership contract). Nil falls back
+	// to plain allocation, which standalone endpoints and tests use.
+	Pool *netem.PacketPool
 }
 
 // DefaultConfig mirrors the paper's NS2 setup: DCTCP, MSS 1460,

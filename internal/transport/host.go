@@ -18,6 +18,12 @@ type Host struct {
 
 	senders   map[netem.FlowID]*Sender
 	receivers map[netem.FlowID]*Receiver
+
+	// pool, when set via SetPool, receives every packet Receive has
+	// finished dispatching: the host is the terminal sink of delivered
+	// packets (endpoint handlers copy what they need and never retain
+	// the *Packet).
+	pool *netem.PacketPool
 }
 
 // NewHost creates a host with the given network injection function.
@@ -33,6 +39,12 @@ func NewHost(sim *eventsim.Sim, id int, out func(*netem.Packet)) *Host {
 
 // ID returns the host index.
 func (h *Host) ID() int { return h.id }
+
+// SetPool makes the host release every delivered packet back to pool
+// after dispatching it (see netem.PacketPool for the ownership
+// contract). Callers that keep delivered packets alive — test pipes
+// that re-deliver them, for instance — must leave the pool unset.
+func (h *Host) SetPool(pool *netem.PacketPool) { h.pool = pool }
 
 // OpenSender registers (but does not start) a sender for the flow.
 // done fires at completion, after the host has released the endpoint.
@@ -74,9 +86,10 @@ func (h *Host) CloseReceiver(id netem.FlowID) {
 	delete(h.receivers, id)
 }
 
-// Receive dispatches a delivered packet to the right endpoint. Packets
-// for unknown flows (e.g. ACKs racing a completed sender) are dropped,
-// as a real host would RST-and-ignore.
+// Receive dispatches a delivered packet to the right endpoint, then
+// releases it to the pool (when one is set): delivery is the packet's
+// terminal sink. Packets for unknown flows (e.g. ACKs racing a
+// completed sender) are dropped, as a real host would RST-and-ignore.
 func (h *Host) Receive(pkt *netem.Packet) {
 	switch pkt.Kind {
 	case netem.Data:
@@ -96,4 +109,5 @@ func (h *Host) Receive(pkt *netem.Packet) {
 			s.onSynAck(pkt)
 		}
 	}
+	h.pool.Put(pkt)
 }

@@ -39,9 +39,14 @@ type Receiver struct {
 	// Delayed-ACK state: how many in-order segments are unacknowledged
 	// and the timer that bounds the delay. lastCE tracks the CE bit of
 	// the previous data packet so a state change forces an immediate
-	// ACK (the DCTCP requirement).
+	// ACK (the DCTCP requirement). ackFn is the one pre-bound timeout
+	// callback (so arming never allocates a closure); ackCE is the CE
+	// state captured when the timer was armed, which the callback
+	// echoes.
 	pendingAcks int
-	ackTimer    *eventsim.Event
+	ackTimer    eventsim.Event
+	ackFn       func()
+	ackCE       bool
 	lastCE      bool
 	// lastBlock remembers the most recent out-of-order segment so its
 	// block is reported first, as RFC 2018 prescribes.
@@ -60,7 +65,7 @@ type Receiver struct {
 // Host.Open, which merges them — here the receiver owns the
 // receiver-side fields of the same FlowStats).
 func NewReceiver(sim *eventsim.Sim, cfg Config, id netem.FlowID, size units.Bytes, out func(*netem.Packet), stats *FlowStats) *Receiver {
-	return &Receiver{
+	r := &Receiver{
 		sim:   sim,
 		cfg:   cfg.withDefaults(),
 		out:   out,
@@ -68,6 +73,14 @@ func NewReceiver(sim *eventsim.Sim, cfg Config, id netem.FlowID, size units.Byte
 		size:  size,
 		Stats: stats,
 	}
+	r.ackFn = r.delayedAckFire
+	return r
+}
+
+// delayedAckFire is the delayed-ACK timeout callback, bound once at
+// construction.
+func (r *Receiver) delayedAckFire() {
+	r.emitAck(r.ackCE)
 }
 
 // Complete reports whether all payload bytes have arrived.
@@ -75,12 +88,11 @@ func (r *Receiver) Complete() bool { return r.rcvNxt >= r.size }
 
 // onSyn answers the handshake.
 func (r *Receiver) onSyn(pkt *netem.Packet) {
-	reply := &netem.Packet{
-		Flow:   r.id.Reversed(),
-		Kind:   netem.SynAck,
-		Wire:   r.cfg.HeaderBytes,
-		SentAt: r.sim.Now(),
-	}
+	reply := r.cfg.Pool.Get()
+	reply.Flow = r.id.Reversed()
+	reply.Kind = netem.SynAck
+	reply.Wire = r.cfg.HeaderBytes
+	reply.SentAt = r.sim.Now()
 	r.out(reply)
 }
 
@@ -140,11 +152,9 @@ func (r *Receiver) onData(pkt *netem.Packet) {
 	if r.cfg.DelayedAck && !outOfOrder && !ceChanged && !pkt.FIN && pkt.Seq+pkt.Payload == r.rcvNxt {
 		r.pendingAcks++
 		if r.pendingAcks < 2 {
-			if r.ackTimer == nil || !r.ackTimer.Scheduled() {
-				ce := pkt.CE
-				r.ackTimer = r.sim.After(r.cfg.DelayedAckTimeout, func() {
-					r.emitAck(ce)
-				})
+			if !r.ackTimer.Scheduled() {
+				r.ackCE = pkt.CE
+				r.ackTimer = r.sim.After(r.cfg.DelayedAckTimeout, r.ackFn)
 			}
 			return
 		}
@@ -154,19 +164,17 @@ func (r *Receiver) onData(pkt *netem.Packet) {
 
 // emitAck sends the cumulative (and selective) acknowledgement state.
 func (r *Receiver) emitAck(ce bool) {
-	if r.ackTimer != nil {
-		r.sim.Cancel(r.ackTimer)
-		r.ackTimer = nil
-	}
+	// Cancel is generation-checked, so a handle whose timer already
+	// fired (we are inside that firing) is a no-op.
+	r.sim.Cancel(r.ackTimer)
 	r.pendingAcks = 0
-	ack := &netem.Packet{
-		Flow:    r.id.Reversed(),
-		Kind:    netem.Ack,
-		Ack:     r.rcvNxt,
-		Wire:    r.cfg.HeaderBytes,
-		ECNEcho: ce,
-		SentAt:  r.sim.Now(),
-	}
+	ack := r.cfg.Pool.Get()
+	ack.Flow = r.id.Reversed()
+	ack.Kind = netem.Ack
+	ack.Ack = r.rcvNxt
+	ack.Wire = r.cfg.HeaderBytes
+	ack.ECNEcho = ce
+	ack.SentAt = r.sim.Now()
 	if r.cfg.SACK {
 		r.fillSackBlocks(ack)
 	}

@@ -36,8 +36,11 @@ type Sender struct {
 	// RTO machinery. The timer is lazy: arming only records the
 	// deadline, and an already-scheduled (earlier) event re-schedules
 	// itself on expiry if the deadline moved. This avoids a
-	// cancel+insert pair of heap operations on every ACK.
-	rtoTimer    *eventsim.Event
+	// cancel+insert pair of heap operations on every ACK. rtoFn is the
+	// one pre-bound callback reused for every (re)arm, so scheduling
+	// the timer never allocates a closure; rtoTimer is a generation-
+	// checked handle, inert once the event fired or was cancelled.
+	rtoTimer    eventsim.Event
 	rtoDeadline units.Time
 	rtoFn       func()
 	rtoBackoff  units.Time
@@ -327,9 +330,10 @@ func (s *Sender) fastRetransmit() {
 }
 
 // onRTOTimer fires at the scheduled instant; if the deadline has moved
-// forward since scheduling (progress arrived), it just re-arms.
+// forward since scheduling (progress arrived), it just re-arms. The
+// fired handle in rtoTimer is already inert (its generation no longer
+// matches), so it needs no explicit clearing.
 func (s *Sender) onRTOTimer() {
-	s.rtoTimer = nil
 	if s.finished {
 		return
 	}
@@ -433,28 +437,26 @@ func (s *Sender) retransmit(seq units.Bytes) {
 }
 
 func (s *Sender) emitData(seq, seg units.Bytes, retx bool) {
-	pkt := &netem.Packet{
-		Flow:       s.id,
-		Kind:       netem.Data,
-		Seq:        seq,
-		Payload:    seg,
-		Wire:       seg + s.cfg.HeaderBytes,
-		SentAt:     s.sim.Now(),
-		Retransmit: retx,
-		FIN:        seq+seg >= s.size,
-	}
+	pkt := s.cfg.Pool.Get()
+	pkt.Flow = s.id
+	pkt.Kind = netem.Data
+	pkt.Seq = seq
+	pkt.Payload = seg
+	pkt.Wire = seg + s.cfg.HeaderBytes
+	pkt.SentAt = s.sim.Now()
+	pkt.Retransmit = retx
+	pkt.FIN = seq+seg >= s.size
 	s.Stats.PacketsSent++
 	s.Stats.BytesSent += seg
 	s.out(pkt)
 }
 
 func (s *Sender) sendControl(kind netem.Kind) {
-	pkt := &netem.Packet{
-		Flow:   s.id,
-		Kind:   kind,
-		Wire:   s.cfg.HeaderBytes,
-		SentAt: s.sim.Now(),
-	}
+	pkt := s.cfg.Pool.Get()
+	pkt.Flow = s.id
+	pkt.Kind = kind
+	pkt.Wire = s.cfg.HeaderBytes
+	pkt.SentAt = s.sim.Now()
 	s.Stats.PacketsSent++
 	s.out(pkt)
 }
@@ -509,7 +511,7 @@ func (s *Sender) armRTO() {
 		return
 	}
 	s.rtoDeadline = s.sim.Now() + s.rtoBackoff
-	if s.rtoTimer == nil || !s.rtoTimer.Scheduled() {
+	if !s.rtoTimer.Scheduled() {
 		s.rtoTimer = s.sim.At(s.rtoDeadline, s.rtoFn)
 	} else if s.rtoTimer.At() > s.rtoDeadline {
 		// The deadline moved *earlier* (progress reset a long timeout
@@ -522,10 +524,7 @@ func (s *Sender) armRTO() {
 }
 
 func (s *Sender) cancelRTO() {
-	if s.rtoTimer != nil {
-		s.sim.Cancel(s.rtoTimer)
-		s.rtoTimer = nil
-	}
+	s.sim.Cancel(s.rtoTimer)
 }
 
 func maxf(a, b float64) float64 {
