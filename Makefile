@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench bench-all alloc-gates ci
+.PHONY: build test vet lint race bench bench-all alloc-gates specs examples ci
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,21 @@ bench-all:
 alloc-gates:
 	$(GO) test -run 'TestAllocGate' -count 1 -v .
 
+# specs validates every checked-in scenario spec through the loader
+# and registry (the quickstart example and the golden experiment
+# specs), then runs the quickstart spec end to end.
+specs:
+	$(GO) run ./cmd/tlbsim -check-spec -spec 'examples/quickstart/spec.json,internal/experiments/testdata/specs/*.json'
+	$(GO) run ./cmd/tlbsim -spec examples/quickstart/spec.json >/dev/null
+
+# examples compiles and runs every examples/ program as smoke; each
+# must exit 0.
+examples:
+	@set -e; for d in examples/*/; do \
+		echo "== $$d"; \
+		$(GO) run ./$$d >/dev/null; \
+	done
+
 # smoke runs one small end-to-end figure — the fault-injection
 # experiment, which crosses every layer (faults -> netem -> lb/core ->
 # sim -> experiments) — and discards the output; it only has to exit 0.
@@ -54,4 +69,4 @@ smoke:
 # ci is the gate: static checks (vet + simlint), the full test suite,
 # the zero-allocation gates, the race detector over all packages, and
 # the end-to-end smoke run.
-ci: build vet lint test alloc-gates race smoke
+ci: build vet lint test alloc-gates race specs examples smoke

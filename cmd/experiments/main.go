@@ -47,6 +47,7 @@ func run() int {
 		quiet      = flag.Bool("q", false, "suppress progress logging")
 		timing     = flag.Bool("time", false, "print wall-clock time per experiment")
 		format     = flag.String("format", "plain", "output format: plain or csv")
+		dumpSpecs  = flag.String("dump-specs", "", "write every scenario spec the experiments run as JSON files under this directory")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -101,6 +102,7 @@ func run() int {
 		FlowsPerRun: *flows,
 		SweepPoints: *points,
 		Workers:     *workers,
+		DumpSpecs:   *dumpSpecs,
 	}
 	if !*quiet {
 		opt.Log = os.Stderr

@@ -1,4 +1,4 @@
-// Command tlbsim runs a single load-balancing scenario and prints its
+// Command tlbsim runs load-balancing scenarios and prints their
 // metrics — the quickest way to poke at the simulator.
 //
 // Usage examples:
@@ -6,8 +6,16 @@
 //	tlbsim -scheme tlb -workload websearch -load 0.6 -flows 500
 //	tlbsim -scheme ecmp -workload datamining -load 0.3
 //	tlbsim -scheme letflow -workload mix -shorts 100 -longs 3
+//	tlbsim -spec examples/quickstart/spec.json
+//	tlbsim -spec 'specs/*.json' -workers 4
+//	tlbsim -list-schemes
 //
-// Workloads:
+// Every run is a scenario spec: the workload flags assemble one
+// internally (print it with -dump-spec), and -spec runs specs straight
+// from JSON files — any scheme in the registry with any parameters,
+// no Go required.
+//
+// Workloads (flag mode):
 //
 //	websearch   Poisson arrivals, DCTCP web-search flow sizes
 //	datamining  Poisson arrivals, VL2 data-mining flow sizes
@@ -19,23 +27,23 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
+	"time"
 
-	"tlb/internal/core"
-	"tlb/internal/eventsim"
 	"tlb/internal/lb"
-	"tlb/internal/netem"
 	"tlb/internal/sim"
-	"tlb/internal/topology"
+	"tlb/internal/spec"
 	"tlb/internal/trace"
-	"tlb/internal/transport"
 	"tlb/internal/units"
-	"tlb/internal/workload"
+
+	// The tlb scheme registers itself with the lb registry.
+	_ "tlb/internal/core"
 )
 
 func main() {
 	var (
-		scheme   = flag.String("scheme", "tlb", "load balancer: ecmp, rps, presto, letflow, drill, flowbender, conga, hermes, wcmp, tlb")
+		scheme   = flag.String("scheme", "tlb", "load balancer scheme (see -list-schemes)")
 		load     = flag.Float64("load", 0.5, "fabric load for Poisson workloads (0..1)")
 		flows    = flag.Int("flows", 500, "number of flows for Poisson workloads")
 		wl       = flag.String("workload", "websearch", "websearch, datamining or mix")
@@ -47,17 +55,243 @@ func main() {
 		hosts    = flag.Int("hosts", 16, "hosts per leaf")
 		deadline = flag.Duration("deadline", 0, "TLB deadline override (e.g. 10ms); 0 = default")
 		traceN   = flag.Int("trace", 0, "print the last N flow lifecycle events after the run")
+
+		specPaths = flag.String("spec", "", "comma-separated spec files or globs to run instead of the flag-built scenario")
+		checkOnly = flag.Bool("check-spec", false, "with -spec: validate the files and exit without running")
+		workers   = flag.Int("workers", 0, "concurrent runs for multi-file -spec batches (0 = GOMAXPROCS)")
+		dumpSpec  = flag.String("dump-spec", "", "write the flag-built scenario's spec JSON to this path (\"-\" = stdout) and exit")
+		list      = flag.Bool("list-schemes", false, "list registered schemes and their parameters, then exit")
 	)
 	flag.Parse()
 
-	var tr *trace.Tracer
-	if *traceN > 0 {
-		tr = trace.New(*traceN)
+	if *list {
+		listSchemes(os.Stdout)
+		return
 	}
-	res, err := run(*scheme, *wl, *load, *flows, *shorts, *longs, *seed, *leaves, *spines, *hosts, units.Time(deadline.Nanoseconds()), tr)
-	if err != nil {
+
+	if err := run(options{
+		scheme: strings.ToLower(*scheme), wl: strings.ToLower(*wl),
+		load: *load, flows: *flows, shorts: *shorts, longs: *longs,
+		seed: *seed, leaves: *leaves, spines: *spines, hosts: *hosts,
+		deadline: units.Time(deadline.Nanoseconds()), traceN: *traceN,
+		specPaths: *specPaths, checkOnly: *checkOnly,
+		workers: *workers, dumpSpec: *dumpSpec,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "tlbsim:", err)
 		os.Exit(1)
+	}
+}
+
+type options struct {
+	scheme, wl            string
+	load                  float64
+	flows, shorts, longs  int
+	seed                  uint64
+	leaves, spines, hosts int
+	deadline              units.Time
+	traceN                int
+	specPaths, dumpSpec   string
+	checkOnly             bool
+	workers               int
+}
+
+func run(o options) error {
+	if o.specPaths != "" {
+		files, err := expandSpecPaths(o.specPaths)
+		if err != nil {
+			return err
+		}
+		if o.checkOnly {
+			return checkSpecs(files)
+		}
+		return runSpecFiles(files, o.workers, o.traceN)
+	}
+	if o.checkOnly {
+		return fmt.Errorf("-check-spec needs -spec")
+	}
+
+	sp, err := flagSpec(o)
+	if err != nil {
+		return err
+	}
+	if o.dumpSpec != "" {
+		return writeSpec(sp, o.dumpSpec)
+	}
+	return runOne(sp, o.traceN)
+}
+
+// flagSpec assembles the scenario spec the workload flags describe.
+func flagSpec(o options) (*spec.Spec, error) {
+	mkTopo := func(l, s, h int) spec.Topology {
+		return spec.Topology{
+			Leaves: l, Spines: s, HostsPerLeaf: h,
+			HostLink:   spec.Link{Bandwidth: spec.Bw(units.Gbps), Delay: spec.Dur(5 * units.Microsecond)},
+			FabricLink: spec.Link{Bandwidth: spec.Bw(units.Gbps), Delay: spec.Dur(10 * units.Microsecond)},
+			Queue:      spec.Queue{Capacity: 256, ECNThreshold: 20},
+		}
+	}
+	deadlines := &spec.Deadlines{
+		Min: spec.Dur(5 * units.Millisecond), Max: spec.Dur(25 * units.Millisecond),
+		OnlyBelow: spec.Sz(100 * units.KB),
+	}
+
+	sp := &spec.Spec{
+		Version: spec.Version,
+		Name:    fmt.Sprintf("%s-%s", o.scheme, o.wl),
+		Seed:    o.seed,
+		Scheme:  spec.Scheme{Name: o.scheme},
+		Run: spec.Run{
+			MaxTime:      spec.Dur(60 * units.Second),
+			StopWhenDone: true,
+		},
+	}
+	// The deadline override only means something to tlb; other schemes
+	// ignore it, matching the flag's historical behavior.
+	if o.deadline > 0 && o.scheme == "tlb" {
+		sp.Scheme.Params = spec.Params{"deadline": string(spec.Dur(o.deadline))}
+	}
+
+	switch o.wl {
+	case "websearch", "datamining":
+		sp.Topology = mkTopo(o.leaves, o.spines, o.hosts)
+		sizes := &spec.SizeDist{Kind: "websearch", Truncate: spec.Sz(20 * units.MB)}
+		if o.wl == "datamining" {
+			sizes = &spec.SizeDist{Kind: "datamining", Truncate: spec.Sz(50 * units.MB)}
+		}
+		sp.Workload = spec.Workload{
+			Kind: "poisson", Flows: o.flows, Load: o.load,
+			Sizes: sizes, Deadlines: deadlines,
+		}
+	case "mix":
+		sp.Topology = mkTopo(2, 15, 15)
+		sp.Workload = spec.Workload{
+			Kind: "mix",
+			Groups: []spec.MixGroup{{
+				Shorts:        o.shorts,
+				Longs:         o.longs,
+				ShortSizes:    &spec.SizeDist{Kind: "uniform", Min: spec.Sz(40 * units.KB), Max: spec.Sz(100 * units.KB)},
+				LongSizes:     &spec.SizeDist{Kind: "fixed", Size: spec.Sz(10 * units.MB)},
+				ArrivalJitter: spec.Dur(20 * units.Millisecond),
+			}},
+			Deadlines: deadlines,
+		}
+	default:
+		return nil, fmt.Errorf("unknown workload %q (websearch, datamining, mix)", o.wl)
+	}
+	return sp, nil
+}
+
+// expandSpecPaths splits the comma-separated -spec value and expands
+// each part that contains glob metacharacters.
+func expandSpecPaths(arg string) ([]string, error) {
+	var files []string
+	for _, part := range strings.Split(arg, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if strings.ContainsAny(part, "*?[") {
+			matches, err := filepath.Glob(part)
+			if err != nil {
+				return nil, fmt.Errorf("bad pattern %q: %v", part, err)
+			}
+			if len(matches) == 0 {
+				return nil, fmt.Errorf("pattern %q matches no files", part)
+			}
+			files = append(files, matches...)
+			continue
+		}
+		files = append(files, part)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("-spec names no files")
+	}
+	return files, nil
+}
+
+// checkSpecs validates every file, reporting all problems before
+// failing.
+func checkSpecs(files []string) error {
+	bad := 0
+	for _, f := range files {
+		sp, err := spec.Load(f)
+		if err == nil {
+			err = sp.Validate()
+		}
+		if err != nil {
+			bad++
+			fmt.Fprintf(os.Stderr, "%s: %v\n", f, err)
+			continue
+		}
+		fmt.Printf("%s: ok\n", f)
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d specs invalid", bad, len(files))
+	}
+	return nil
+}
+
+// runSpecFiles compiles and runs the spec files; multi-file batches go
+// through the sweep worker pool and report each result in input order.
+func runSpecFiles(files []string, workers, traceN int) error {
+	if len(files) == 1 {
+		sp, err := spec.Load(files[0])
+		if err != nil {
+			return err
+		}
+		return runOne(sp, traceN)
+	}
+	if traceN > 0 {
+		return fmt.Errorf("-trace needs a single scenario, got %d spec files", len(files))
+	}
+	scenarios := make([]sim.Scenario, len(files))
+	for i, f := range files {
+		sp, err := spec.Load(f)
+		if err != nil {
+			return err
+		}
+		scenarios[i], err = sp.Compile()
+		if err != nil {
+			return err
+		}
+	}
+	results, err := sim.RunSweep(scenarios, sim.SweepOptions{
+		Workers: workers,
+		Progress: func(p sim.SweepProgress) {
+			status := "done"
+			if p.Err != nil {
+				status = "FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s %s (%v)\n",
+				p.Completed, p.Total, p.Scenario, status, p.Elapsed.Round(time.Millisecond))
+		},
+	})
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		report(res)
+	}
+	return nil
+}
+
+// runOne compiles and runs a single spec, with optional tracing.
+func runOne(sp *spec.Spec, traceN int) error {
+	sc, err := sp.Compile()
+	if err != nil {
+		return err
+	}
+	var tr *trace.Tracer
+	if traceN > 0 {
+		tr = trace.New(traceN)
+		sc.Tracer = tr
+	}
+	res, err := sim.Run(sc)
+	if err != nil {
+		return err
 	}
 	report(res)
 	if tr != nil {
@@ -66,123 +300,34 @@ func main() {
 		fmt.Println("--- trace summary ---")
 		tr.Summary(os.Stdout)
 	}
+	return nil
 }
 
-func run(scheme, wl string, load float64, flows, shorts, longs int, seed uint64, leaves, spines, hostsPerLeaf int, deadline units.Time, tr *trace.Tracer) (*sim.Result, error) {
-	var topo topology.Config
-	var flowList []workload.Flow
-	var err error
-
-	mkTopo := func(l, s, h int) topology.Config {
-		return topology.Config{
-			Leaves: l, Spines: s, HostsPerLeaf: h,
-			HostLink:   netem.LinkConfig{Bandwidth: units.Gbps, Delay: 5 * units.Microsecond},
-			FabricLink: netem.LinkConfig{Bandwidth: units.Gbps, Delay: 10 * units.Microsecond},
-			Queue:      netem.QueueConfig{Capacity: 256, ECNThreshold: 20},
-		}
-	}
-
-	deadlines := workload.DeadlineDist{
-		Min: 5 * units.Millisecond, Max: 25 * units.Millisecond,
-		OnlyBelow: 100 * units.KB,
-	}
-
-	switch strings.ToLower(wl) {
-	case "websearch", "datamining":
-		topo = mkTopo(leaves, spines, hostsPerLeaf)
-		var sizes workload.SizeDist
-		if wl == "websearch" {
-			sizes = workload.Truncated{Dist: workload.WebSearch(), Max: 20 * units.MB}
-		} else {
-			sizes = workload.Truncated{Dist: workload.DataMining(), Max: 50 * units.MB}
-		}
-		fabricCap := float64(topo.Leaves) * float64(topo.Spines) * topo.FabricLink.Bandwidth.BytesPerSecond()
-		pc := workload.PoissonConfig{
-			Hosts:         topo.Hosts(),
-			Sizes:         sizes,
-			RateOverride:  load * fabricCap / sizes.Mean(),
-			Deadlines:     deadlines,
-			CrossLeafOnly: true,
-			LeafOf:        func(h int) int { return h / topo.HostsPerLeaf },
-		}
-		flowList, err = pc.Generate(eventsim.NewRNG(seed+1), flows, 0)
-		if err != nil {
-			return nil, err
-		}
-	case "mix":
-		topo = mkTopo(2, 15, 15)
-		senders := make([]int, topo.HostsPerLeaf)
-		receivers := make([]int, topo.HostsPerLeaf)
-		for i := range senders {
-			senders[i], receivers[i] = i, topo.HostsPerLeaf+i
-		}
-		mix := workload.StaticMix{
-			ShortFlows: shorts, LongFlows: longs,
-			ShortSizes:    workload.Uniform{MinSize: 40 * units.KB, MaxSize: 100 * units.KB},
-			LongSizes:     workload.Fixed{Size: 10 * units.MB},
-			Senders:       senders,
-			Receivers:     receivers,
-			ArrivalJitter: 20 * units.Millisecond,
-			Deadlines:     deadlines,
-		}
-		flowList, err = mix.Generate(eventsim.NewRNG(seed+1), 0)
-		if err != nil {
-			return nil, err
-		}
-	default:
-		return nil, fmt.Errorf("unknown workload %q", wl)
-	}
-
-	factory, err := schemeFactory(scheme, topo, deadline)
+// writeSpec marshals the spec to path ("-" = stdout).
+func writeSpec(sp *spec.Spec, path string) error {
+	data, err := sp.Marshal()
 	if err != nil {
-		return nil, err
+		return err
 	}
-
-	return sim.Run(sim.Scenario{
-		Name:         fmt.Sprintf("%s-%s", scheme, wl),
-		Topology:     topo,
-		Transport:    transport.DefaultConfig(),
-		Balancer:     factory,
-		SchemeName:   scheme,
-		Seed:         seed,
-		Flows:        flowList,
-		Tracer:       tr,
-		StopWhenDone: true,
-		MaxTime:      60 * units.Second,
-	})
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
-func schemeFactory(name string, topo topology.Config, deadline units.Time) (lb.Factory, error) {
-	switch strings.ToLower(name) {
-	case "ecmp":
-		return lb.ECMP(), nil
-	case "rps":
-		return lb.RPS(), nil
-	case "presto":
-		return lb.Presto(0), nil
-	case "letflow":
-		return lb.LetFlow(150 * units.Microsecond), nil
-	case "drill":
-		return lb.DRILL(2, 1), nil
-	case "flowbender":
-		return lb.FlowBender(lb.FlowBenderConfig{ECNThreshold: topo.Queue.ECNThreshold}), nil
-	case "conga":
-		return lb.CongaFlowlet(0), nil
-	case "hermes":
-		return lb.Hermes(lb.HermesConfig{}), nil
-	case "wcmp":
-		return lb.WCMP(), nil
-	case "tlb":
-		cfg := core.DefaultConfig()
-		cfg.LinkBandwidth = topo.FabricLink.Bandwidth
-		cfg.RTT = topo.BaseRTT()
-		cfg.MaxQTh = topo.Queue.Capacity
-		if deadline > 0 {
-			cfg.Deadline = deadline
+// listSchemes prints the registry: every scheme, its doc line, and its
+// parameter schema.
+func listSchemes(w *os.File) {
+	for _, name := range lb.Names() {
+		r, ok := lb.Lookup(name)
+		if !ok {
+			continue
 		}
-		return core.Factory(cfg), nil
-	default:
-		return nil, fmt.Errorf("unknown scheme %q (ecmp, rps, presto, letflow, drill, flowbender, conga, hermes, wcmp, tlb)", name)
+		fmt.Fprintf(w, "%s\n    %s\n", r.Name, r.Doc)
+		for _, p := range r.Params {
+			fmt.Fprintf(w, "    %-16s %-10s %s\n", p.Name, p.Kind, p.Doc)
+		}
 	}
 }
 

@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"tlb/internal/core"
-	"tlb/internal/lb"
 	"tlb/internal/sim"
+	"tlb/internal/spec"
 	"tlb/internal/stats"
 	"tlb/internal/units"
 )
@@ -24,11 +24,11 @@ func ablationEnv(o Options) largeEnv {
 }
 
 // ablationVariant is one bar or sweep point of an ablation: a named
-// balancer configuration in its own environment.
+// TLB configuration in its own environment.
 type ablationVariant struct {
 	name string
 	env  largeEnv
-	f    lb.Factory
+	cfg  core.Config
 }
 
 // ablationMetrics is the (short AFCT s, long goodput Gbps, deadline
@@ -38,19 +38,18 @@ type ablationMetrics struct {
 }
 
 // runAblation executes the variants as one batch on the shared runner
-// and returns their metrics in input order.
+// and returns their metrics in input order. Each variant's mutated TLB
+// configuration serializes as the parameter diff against the
+// environment's base.
 func runAblation(o Options, label string, variants []ablationVariant) ([]ablationMetrics, error) {
-	scs := make([]sim.Scenario, len(variants))
+	specs := make([]spec.Spec, len(variants))
 	for i, v := range variants {
-		sc, err := v.env.scenario(Scheme{Name: v.name, Factory: v.f}, ablationLoad, o.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("%s %s: %w", label, v.name, err)
-		}
-		scs[i] = sc
+		s := Scheme{Name: "tlb", Label: v.name, Params: tlbParams(v.cfg, spec.LeafSpineEnv(v.env.topo))}
+		specs[i] = v.env.spec(s, ablationLoad, o.Seed)
 	}
-	results, err := o.runBatch(label, scs)
+	results, err := o.runSpecs(label, specs)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", label, err)
+		return nil, err
 	}
 	out := make([]ablationMetrics, len(results))
 	for i, res := range results {
@@ -77,7 +76,7 @@ func AblationInterval(o Options) ([]Figure, error) {
 		env := ablationEnv(o)
 		cfg := env.tlbConfig(0)
 		cfg.Interval = units.Time(us) * units.Microsecond
-		variants[i] = ablationVariant{fmt.Sprintf("tlb-t%v", us), env, tlbFactory(cfg)}
+		variants[i] = ablationVariant{fmt.Sprintf("tlb-t%v", us), env, cfg}
 	}
 	ms, err := runAblation(o, "ablation-interval", variants)
 	if err != nil {
@@ -103,7 +102,7 @@ func AblationThreshold(o Options) ([]Figure, error) {
 		env := ablationEnv(o)
 		cfg := env.tlbConfig(0)
 		cfg.ShortThreshold = units.Bytes(kb) * units.KB
-		variants[i] = ablationVariant{fmt.Sprintf("tlb-th%v", kb), env, tlbFactory(cfg)}
+		variants[i] = ablationVariant{fmt.Sprintf("tlb-th%v", kb), env, cfg}
 	}
 	ms, err := runAblation(o, "ablation-threshold", variants)
 	if err != nil {
@@ -128,7 +127,7 @@ func barAblation(o Options, label string, afct, tput Figure, names []string, mut
 		env := ablationEnv(o)
 		cfg := env.tlbConfig(0)
 		mut(name, &cfg)
-		variants[i] = ablationVariant{"tlb-" + name, env, tlbFactory(cfg)}
+		variants[i] = ablationVariant{"tlb-" + name, env, cfg}
 	}
 	ms, err := runAblation(o, label, variants)
 	if err != nil {

@@ -4,6 +4,11 @@
 // function returns the plotted series/bars; cmd/experiments prints
 // them, and the repository benchmarks run reduced-scale versions.
 //
+// Every figure builds its scenarios as declarative spec.Spec values
+// and runs them through Options.runSpecs, so each run an experiment
+// performs is serializable JSON (Options.DumpSpecs) that tlbsim -spec
+// reproduces byte for byte.
+//
 // Scale note: the returned shapes (who wins, by what factor, where
 // curves cross) are the reproduction target; absolute numbers differ
 // from the paper because the substrate is this repo's simulator, not
@@ -18,9 +23,9 @@ import (
 
 	"tlb/internal/core"
 	"tlb/internal/eventsim"
-	"tlb/internal/lb"
 	"tlb/internal/netem"
 	"tlb/internal/sim"
+	"tlb/internal/spec"
 	"tlb/internal/stats"
 	"tlb/internal/topology"
 	"tlb/internal/transport"
@@ -44,8 +49,15 @@ type Options struct {
 	// produces byte-identical figures: scenarios own their seeds, and
 	// results are reduced in input order.
 	Workers int
+	// DumpSpecs, when set, writes every scenario an experiment runs as
+	// a spec JSON file into this directory before running it.
+	DumpSpecs string
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
+
+	// specObserver, when non-nil, sees every spec a figure builds just
+	// before compilation (test hook for round-trip checks).
+	specObserver func(prefix string, sp *spec.Spec)
 }
 
 // Default returns the standard reduced-scale options used by
@@ -148,13 +160,31 @@ func (f *Figure) Format() string {
 	return out
 }
 
-// Scheme pairs a display name with a balancer factory, plus optional
-// end-host replication (RepFlow runs ECMP at the switch and replicates
-// mice at the hosts).
+// Scheme names a registered balancer plus its parameters — pure data,
+// resolved through the lb registry at compile time. Replication adds
+// RepFlow-style end-host copies on top (RepFlow runs ECMP at the
+// switch and replicates mice at the hosts).
 type Scheme struct {
-	Name        string
-	Factory     lb.Factory
-	Replication *sim.ReplicationConfig
+	// Name is the registry name (lb.Names() enumerates them).
+	Name string
+	// Label, when set, is the display name results carry ("flow" for
+	// ecmp in the motivation figures); it defaults to Name.
+	Label       string
+	Params      spec.Params
+	Replication *spec.Replication
+}
+
+// label returns the display name.
+func (s Scheme) label() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return s.Name
+}
+
+// schemeSpec renders the scheme clause of a spec.
+func (s Scheme) schemeSpec() spec.Scheme {
+	return spec.Scheme{Name: s.Name, Label: s.Label, Params: s.Params}
 }
 
 // baselines returns the four comparison schemes of the paper's §6 in
@@ -162,10 +192,10 @@ type Scheme struct {
 // experiments, 15 ms on the slow testbed).
 func baselines(flowletGap units.Time) []Scheme {
 	return []Scheme{
-		{Name: "ecmp", Factory: lb.ECMP()},
-		{Name: "rps", Factory: lb.RPS()},
-		{Name: "presto", Factory: lb.Presto(0)},
-		{Name: "letflow", Factory: lb.LetFlow(flowletGap)},
+		{Name: "ecmp"},
+		{Name: "rps"},
+		{Name: "presto"},
+		{Name: "letflow", Params: spec.Params{"gap": pDur(flowletGap)}},
 	}
 }
 
@@ -209,36 +239,6 @@ func newBasicEnv(buffer, shorts, longs int) basicEnv {
 	}
 }
 
-// flows materializes the static mix: senders on leaf 0, receivers on
-// leaf 1, shorts arriving over a 20 ms window against established
-// longs.
-func (e basicEnv) flows(seed uint64) []workload.Flow {
-	senders := make([]int, e.topo.HostsPerLeaf)
-	receivers := make([]int, e.topo.HostsPerLeaf)
-	for i := range senders {
-		senders[i] = i
-		receivers[i] = e.topo.HostsPerLeaf + i
-	}
-	mix := workload.StaticMix{
-		ShortFlows: e.shorts,
-		LongFlows:  e.longs,
-		ShortSizes: e.shortSize,
-		LongSizes:  e.longSize,
-		Senders:    senders,
-		Receivers:  receivers,
-		// Shorts burst into the established longs over a few ms — the
-		// §2.2 contention scenario.
-		ArrivalJitter: 5 * units.Millisecond,
-		Deadlines:     e.deadlines,
-	}
-	rng := newRNG(seed)
-	flows, err := mix.Generate(rng, 0)
-	if err != nil {
-		panic(err) // static config, cannot fail
-	}
-	return flows
-}
-
 // tlbConfig returns the TLB switch configuration matched to the
 // environment.
 func (e basicEnv) tlbConfig() core.Config {
@@ -250,26 +250,35 @@ func (e basicEnv) tlbConfig() core.Config {
 	return cfg
 }
 
-// scenario builds (but does not run) one scenario in this
-// environment, for submission to the shared sweep runner. Each call
-// generates its own flow slice, so batched scenarios share no mutable
-// state.
-func (e basicEnv) scenario(name string, f lb.Factory, seed uint64, mut func(*sim.Scenario)) sim.Scenario {
-	sc := sim.Scenario{
-		Name:         name,
-		Topology:     e.topo,
-		Transport:    e.transport,
-		Balancer:     f,
-		SchemeName:   name,
-		Seed:         seed,
-		Flows:        e.flows(seed + 1),
-		StopWhenDone: true,
-		MaxTime:      30 * units.Second,
+// spec builds one scheme's scenario description: the static mix
+// (senders on leaf 0, receivers on leaf 1, shorts bursting into the
+// established longs over a few ms — the §2.2 contention scenario),
+// named after the scheme's display label.
+func (e basicEnv) spec(s Scheme, seed uint64) spec.Spec {
+	return spec.Spec{
+		Version:   spec.Version,
+		Name:      s.label(),
+		Seed:      seed,
+		Scheme:    s.schemeSpec(),
+		Topology:  topoSpec(e.topo),
+		Transport: transportSpec(e.transport),
+		Workload: spec.Workload{
+			Kind: "mix",
+			Groups: []spec.MixGroup{{
+				Shorts:        e.shorts,
+				Longs:         e.longs,
+				ShortSizes:    sizeSpec(e.shortSize),
+				LongSizes:     sizeSpec(e.longSize),
+				ArrivalJitter: spec.Dur(5 * units.Millisecond),
+			}},
+			Deadlines: deadlineSpec(e.deadlines),
+		},
+		Replication: s.Replication,
+		Run: spec.Run{
+			MaxTime:      spec.Dur(30 * units.Second),
+			StopWhenDone: true,
+		},
 	}
-	if mut != nil {
-		mut(&sc)
-	}
-	return sc
 }
 
 // ---- Large-scale environment (§6.2) ----
@@ -279,12 +288,12 @@ func (e basicEnv) scenario(name string, f lb.Factory, seed uint64, mut func(*sim
 type largeEnv struct {
 	topo      topology.Config
 	transport transport.Config
-	sizes     workload.SizeDist
+	sizes     spec.SizeDist
 	deadlines workload.DeadlineDist
 	flowCount int
 }
 
-func newLargeEnv(sizes workload.SizeDist, flowCount int) largeEnv {
+func newLargeEnv(sizes spec.SizeDist, flowCount int) largeEnv {
 	return largeEnv{
 		topo: topology.Config{
 			Leaves:       8,
@@ -304,16 +313,32 @@ func newLargeEnv(sizes workload.SizeDist, flowCount int) largeEnv {
 	}
 }
 
-// flows draws the Poisson workload for one load point. Load is defined
-// against the aggregate leaf-uplink capacity, the convention of the
-// load-balancing literature the paper follows; all flows cross the
-// fabric.
+// websearchSizes is the web-search CDF truncated at 20MB (the
+// experiments bound the heavy tail to keep run times finite).
+func websearchSizes() spec.SizeDist {
+	return spec.SizeDist{Kind: "websearch", Truncate: spec.Sz(20 * units.MB)}
+}
+
+// dataminingSizes is the data-mining CDF truncated at 50MB.
+func dataminingSizes() spec.SizeDist {
+	return spec.SizeDist{Kind: "datamining", Truncate: spec.Sz(50 * units.MB)}
+}
+
+// flows draws the Poisson workload for one load point — the same
+// draw the compiled spec performs, kept for load calibration checks.
+// Load is defined against the aggregate leaf-uplink capacity, the
+// convention of the load-balancing literature the paper follows; all
+// flows cross the fabric.
 func (e largeEnv) flows(load float64, seed uint64) ([]workload.Flow, error) {
+	sizes, err := e.sizes.Dist()
+	if err != nil {
+		return nil, err
+	}
 	fabricCapacity := float64(e.topo.Leaves) * float64(e.topo.Spines) * e.topo.FabricLink.Bandwidth.BytesPerSecond()
 	pc := workload.PoissonConfig{
 		Hosts:         e.topo.Hosts(),
-		Sizes:         e.sizes,
-		RateOverride:  load * fabricCapacity / e.sizes.Mean(),
+		Sizes:         sizes,
+		RateOverride:  load * fabricCapacity / sizes.Mean(),
 		Deadlines:     e.deadlines,
 		CrossLeafOnly: true,
 		LeafOf:        func(h int) int { return h / e.topo.HostsPerLeaf },
@@ -333,30 +358,30 @@ func (e largeEnv) tlbConfig(deadline units.Time) core.Config {
 	return cfg
 }
 
-// scenario builds one scheme's run (with its optional end-host
-// replication) at one load point, for submission to the shared sweep
-// runner.
-func (e largeEnv) scenario(s Scheme, load float64, seed uint64) (sim.Scenario, error) {
-	flows, err := e.flows(load, seed+1)
-	if err != nil {
-		return sim.Scenario{}, err
+// spec builds one scheme's scenario description (with its optional
+// end-host replication) at one load point.
+func (e largeEnv) spec(s Scheme, load float64, seed uint64) spec.Spec {
+	sizes := e.sizes
+	return spec.Spec{
+		Version:   spec.Version,
+		Name:      fmt.Sprintf("%s-load%.1f", s.label(), load),
+		Seed:      seed,
+		Scheme:    s.schemeSpec(),
+		Topology:  topoSpec(e.topo),
+		Transport: transportSpec(e.transport),
+		Workload: spec.Workload{
+			Kind:      "poisson",
+			Flows:     e.flowCount,
+			Load:      load,
+			Sizes:     &sizes,
+			Deadlines: deadlineSpec(e.deadlines),
+		},
+		Replication: s.Replication,
+		Run: spec.Run{
+			MaxTime:      spec.Dur(60 * units.Second),
+			StopWhenDone: true,
+		},
 	}
-	return sim.Scenario{
-		Name:         fmt.Sprintf("%s-load%.1f", s.Name, load),
-		Topology:     e.topo,
-		Transport:    e.transport,
-		Balancer:     s.Factory,
-		SchemeName:   s.Name,
-		Seed:         seed,
-		Flows:        flows,
-		Replication:  s.Replication,
-		StopWhenDone: true,
-		MaxTime:      60 * units.Second,
-	}, nil
 }
 
 func newRNG(seed uint64) *eventsim.RNG { return eventsim.NewRNG(seed) }
-
-// tlbFactory adapts a TLB configuration to the scheme-factory shape the
-// runners consume.
-func tlbFactory(cfg core.Config) lb.Factory { return core.Factory(cfg) }

@@ -1,10 +1,8 @@
 package experiments
 
 import (
-	"fmt"
-
-	"tlb/internal/lb"
 	"tlb/internal/sim"
+	"tlb/internal/spec"
 	"tlb/internal/topology"
 	"tlb/internal/units"
 )
@@ -23,18 +21,22 @@ func ExtendedBaselines(o Options) ([]Figure, error) {
 }
 
 // extendedSchemeSet builds the wider comparison set for an environment.
+// Every entry is registry data; the registry's defaults are the same
+// explicit values this set used to construct (DRILL d=2 m=1, CONGA's
+// own flowlet gap, Hermes and FlowBender defaults with the
+// environment's ECN threshold).
 func extendedSchemeSet(env largeEnv) []Scheme {
 	return []Scheme{
-		{Name: "ecmp", Factory: lb.ECMP()},
-		{Name: "drill", Factory: lb.DRILL(2, 1)},
-		{Name: "conga", Factory: lb.CongaFlowlet(0)},
-		{Name: "hermes", Factory: lb.Hermes(lb.HermesConfig{})},
-		{Name: "flowbender", Factory: lb.FlowBender(lb.FlowBenderConfig{ECNThreshold: env.topo.Queue.ECNThreshold})},
-		{Name: "wcmp", Factory: lb.WCMP()},
-		{Name: "letflow", Factory: lb.LetFlow(150 * units.Microsecond)},
-		{Name: "repflow", Factory: lb.ECMP(),
-			Replication: &sim.ReplicationConfig{Threshold: 100 * units.KB, Copies: 2}},
-		{Name: "tlb", Factory: tlbFactory(env.tlbConfig(0))},
+		{Name: "ecmp"},
+		{Name: "drill"},
+		{Name: "conga"},
+		{Name: "hermes"},
+		{Name: "flowbender"},
+		{Name: "wcmp"},
+		{Name: "letflow", Params: spec.Params{"gap": pDur(150 * units.Microsecond)}},
+		{Name: "ecmp", Label: "repflow",
+			Replication: &spec.Replication{Threshold: spec.Sz(100 * units.KB), Copies: 2}},
+		tlbScheme(env, 0),
 	}
 }
 
@@ -55,37 +57,27 @@ func ExtendedAsymmetric(o Options) ([]Figure, error) {
 		topology.LinkOverride{Leaf: 0, Spine: 7, Link: slow})
 
 	schemes := []Scheme{
-		{Name: "ecmp", Factory: lb.ECMP()},
-		{Name: "wcmp", Factory: lb.WCMP()},
-		{Name: "drill", Factory: lb.DRILL(2, 1)},
-		{Name: "conga", Factory: lb.CongaFlowlet(0)},
-		{Name: "hermes", Factory: lb.Hermes(lb.HermesConfig{})},
-		{Name: "flowbender", Factory: lb.FlowBender(lb.FlowBenderConfig{ECNThreshold: env.topo.Queue.ECNThreshold})},
-		{Name: "letflow", Factory: lb.LetFlow(testbedFlowletGap)},
-		{Name: "tlb", Factory: tlbFactory(env.tlbConfig())},
+		{Name: "ecmp"},
+		{Name: "wcmp"},
+		{Name: "drill"},
+		{Name: "conga"},
+		{Name: "hermes"},
+		{Name: "flowbender"},
+		{Name: "letflow", Params: spec.Params{"gap": pDur(testbedFlowletGap)}},
+		{Name: "tlb", Params: tlbParams(env.tlbConfig(), spec.LeafSpineEnv(env.topo))},
 	}
-	scs := make([]sim.Scenario, len(schemes))
+	specs := make([]spec.Spec, len(schemes))
 	for i, s := range schemes {
-		scs[i] = sim.Scenario{
-			Name:         "extended-asym-" + s.Name,
-			Topology:     env.topo,
-			Transport:    env.transport,
-			Balancer:     s.Factory,
-			SchemeName:   s.Name,
-			Seed:         o.Seed,
-			Flows:        env.flows(o.Seed + 1),
-			StopWhenDone: true,
-			MaxTime:      300 * units.Second,
-		}
+		specs[i] = env.spec(s, "extended-asym-"+s.label(), o.Seed, 300*units.Second)
 	}
-	results, err := o.runBatch("extended-asym", scs)
+	results, err := o.runSpecs("extended-asym", specs)
 	if err != nil {
-		return nil, fmt.Errorf("extended-asym: %w", err)
+		return nil, err
 	}
 	for i, s := range schemes {
 		res := results[i]
-		afct.Bars = append(afct.Bars, Bar{s.Name, res.AFCT(sim.ShortFlows).Seconds()})
-		tput.Bars = append(tput.Bars, Bar{s.Name, float64(res.Goodput(sim.LongFlows)) / 1e6})
+		afct.Bars = append(afct.Bars, Bar{s.label(), res.AFCT(sim.ShortFlows).Seconds()})
+		tput.Bars = append(tput.Bars, Bar{s.label(), float64(res.Goodput(sim.LongFlows)) / 1e6})
 	}
 	return []Figure{afct, tput}, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"tlb/internal/faults"
 	"tlb/internal/sim"
+	"tlb/internal/spec"
 	"tlb/internal/stats"
 	"tlb/internal/transport"
 	"tlb/internal/units"
@@ -29,43 +30,30 @@ const (
 	figF1Window    = 8 * units.Second
 )
 
-// figF1Flows spreads shorts uniformly over the whole observation
+// figF1Workload spreads shorts uniformly over the whole observation
 // window (so every phase — before, during, after the failure — sees
-// fresh arrivals) against long flows established at t=0.
-func figF1Flows(env testbedEnv, shorts int, seed uint64) []workload.Flow {
-	senders := make([]int, env.topo.HostsPerLeaf)
-	receivers := make([]int, env.topo.HostsPerLeaf)
-	for i := range senders {
-		senders[i] = i
-		receivers[i] = env.topo.HostsPerLeaf + i
-	}
-	rng := newRNG(seed)
-	longs := workload.StaticMix{
-		LongFlows: env.longs,
-		LongSizes: workload.Fixed{Size: 15 * units.MB},
-		Senders:   senders,
-		Receivers: receivers,
-	}
-	shortMix := workload.StaticMix{
-		ShortFlows:    shorts,
-		ShortSizes:    workload.Uniform{MinSize: 10 * units.KB, MaxSize: 100 * units.KB},
-		Senders:       senders,
-		Receivers:     receivers,
-		ArrivalJitter: figF1Window,
-		Deadlines: workload.DeadlineDist{
-			Min: 2 * units.Second, Max: 6 * units.Second,
-			OnlyBelow: 100 * units.KB,
+// fresh arrivals) against long flows established at t=0. Two mix
+// groups drawn in order from the shared workload RNG: the longs
+// first, then the jittered shorts.
+func figF1Workload(env testbedEnv, shorts int) spec.Workload {
+	return spec.Workload{
+		Kind: "mix",
+		Groups: []spec.MixGroup{
+			{
+				Longs:     env.longs,
+				LongSizes: sizeSpec(workload.Fixed{Size: 15 * units.MB}),
+			},
+			{
+				Shorts:        shorts,
+				ShortSizes:    sizeSpec(workload.Uniform{MinSize: 10 * units.KB, MaxSize: 100 * units.KB}),
+				ArrivalJitter: spec.Dur(figF1Window),
+				Deadlines: deadlineSpec(workload.DeadlineDist{
+					Min: 2 * units.Second, Max: 6 * units.Second,
+					OnlyBelow: 100 * units.KB,
+				}),
+			},
 		},
 	}
-	flows, err := longs.Generate(rng, 0)
-	if err != nil {
-		panic(err) // static config, cannot fail
-	}
-	more, err := shortMix.Generate(rng, 0)
-	if err != nil {
-		panic(err)
-	}
-	return append(flows, more...)
 }
 
 // figF1Shorts scales the short-flow count off Options.FlowsPerRun
@@ -82,6 +70,32 @@ func figF1Shorts(o Options) int {
 	return n
 }
 
+// figF1Specs builds the fail→recover batch: every testbed scheme under
+// the fault schedule, with the time series enabled. Shared with the
+// golden-spec tests.
+func figF1Specs(o Options) ([]string, []spec.Spec) {
+	env := newTestbedEnv(0, 4)
+	shorts := figF1Shorts(o)
+	sched := faults.Schedule{
+		faults.Down(figF1FailAt, 0, 2),
+		faults.Down(figF1FailAt, 0, 7),
+		faults.Restore(figF1RecoverAt, 0, 2),
+		faults.Restore(figF1RecoverAt, 0, 7),
+	}
+	var specs []spec.Spec
+	var order []string
+	for _, s := range env.schemes() {
+		order = append(order, s.label())
+		sp := env.spec(s, fmt.Sprintf("figF1-%s", s.label()), o.Seed, 120*units.Second)
+		sp.Workload = figF1Workload(env, shorts)
+		sp.Faults = faultSpecs(sched)
+		sp.Outputs.CollectTimeSeries = true
+		sp.Outputs.TimeBucket = spec.Dur(250 * units.Millisecond)
+		specs = append(specs, sp)
+	}
+	return order, specs
+}
+
 // FigF1 runs the fail→recover experiment: two of ten uplinks of leaf 0
 // go down mid-run and come back 3 s later.
 //
@@ -91,36 +105,10 @@ func figF1Shorts(o Options) int {
 //   - figF1c: short-flow AFCT in the pre-failure, failure and
 //     post-recovery windows, as bars per scheme.
 func FigF1(o Options) ([]Figure, error) {
-	env := newTestbedEnv(0, 4)
-	shorts := figF1Shorts(o)
-	sched := faults.Schedule{
-		faults.Down(figF1FailAt, 0, 2),
-		faults.Down(figF1FailAt, 0, 7),
-		faults.Restore(figF1RecoverAt, 0, 2),
-		faults.Restore(figF1RecoverAt, 0, 7),
-	}
-	var scs []sim.Scenario
-	var order []string
-	for _, s := range env.schemes() {
-		order = append(order, s.Name)
-		scs = append(scs, sim.Scenario{
-			Name:              fmt.Sprintf("figF1-%s", s.Name),
-			Topology:          env.topo,
-			Transport:         env.transport,
-			Balancer:          s.Factory,
-			SchemeName:        s.Name,
-			Seed:              o.Seed,
-			Flows:             figF1Flows(env, shorts, o.Seed+1),
-			Faults:            sched,
-			StopWhenDone:      true,
-			MaxTime:           120 * units.Second,
-			CollectTimeSeries: true,
-			TimeBucket:        250 * units.Millisecond,
-		})
-	}
-	results, err := o.runBatch("figF1", scs)
+	order, specs := figF1Specs(o)
+	results, err := o.runSpecs("figF1", specs)
 	if err != nil {
-		return nil, fmt.Errorf("figF1: %w", err)
+		return nil, err
 	}
 
 	afct := Figure{ID: "figF1a", Title: "Short-flow AFCT by start time through fail/recover",
@@ -208,10 +196,10 @@ func FigF2(o Options) ([]Figure, error) {
 	xs := trim(o, []float64{4, 2, 1, 0.5}) // flap period, seconds
 	return testbedSweep(o, "figF2", "flap period on 1 link (s)", xs,
 		func(x float64) testbedEnv { return newTestbedEnv(0, 4) },
-		func(x float64, env *testbedEnv, sc *sim.Scenario) {
-			sc.Flows = figF1Flows(*env, figF1Shorts(o), o.Seed+1)
+		func(x float64, env *testbedEnv, sp *spec.Spec) {
+			sp.Workload = figF1Workload(*env, figF1Shorts(o))
 			period := units.FromSeconds(x)
 			cycles := int(math.Ceil((8 * units.Second).Seconds() / x))
-			sc.Faults = faults.Flap(0, 2, units.Second, period/2, period/2, cycles)
+			sp.Faults = faultSpecs(faults.Flap(0, 2, units.Second, period/2, period/2, cycles))
 		})
 }

@@ -1,12 +1,10 @@
 package experiments
 
 import (
-	"fmt"
-
 	"tlb/internal/sim"
+	"tlb/internal/spec"
 	"tlb/internal/stats"
 	"tlb/internal/units"
-	"tlb/internal/workload"
 )
 
 // loadGrid is the paper's workload sweep.
@@ -54,7 +52,7 @@ func (p *fourPanels) figures() []Figure {
 }
 
 // largeSweep runs the scheme set over the load grid in the given
-// environment: the whole (load x scheme) grid is built as one scenario
+// environment: the whole (load x scheme) grid is built as one spec
 // batch, submitted to the shared runner, and reduced in input order —
 // so the resulting figures are identical at any worker count.
 func largeSweep(o Options, env largeEnv, schemes []Scheme, prefix, workloadName string) ([]Figure, error) {
@@ -65,20 +63,16 @@ func largeSweep(o Options, env largeEnv, schemes []Scheme, prefix, workloadName 
 		load   float64
 	}
 	pts := make([]point, 0, len(loads)*len(schemes))
-	scs := make([]sim.Scenario, 0, len(loads)*len(schemes))
+	specs := make([]spec.Spec, 0, len(loads)*len(schemes))
 	for _, load := range loads {
 		for _, s := range schemes {
-			sc, err := env.scenario(s, load, o.Seed)
-			if err != nil {
-				return nil, fmt.Errorf("%s %s load %.1f: %w", prefix, s.Name, load, err)
-			}
-			pts = append(pts, point{s.Name, load})
-			scs = append(scs, sc)
+			pts = append(pts, point{s.label(), load})
+			specs = append(specs, env.spec(s, load, o.Seed))
 		}
 	}
-	results, err := o.runBatch(prefix, scs)
+	results, err := o.runSpecs(prefix, specs)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", prefix, err)
+		return nil, err
 	}
 	for i, res := range results {
 		panels.addPoint(pts[i].scheme, pts[i].load, res)
@@ -86,13 +80,19 @@ func largeSweep(o Options, env largeEnv, schemes []Scheme, prefix, workloadName 
 	return panels.figures(), nil
 }
 
+// tlbScheme renders TLB with the environment's configuration (the
+// parameters are the diff against the registry's environment-derived
+// base, so a plain environment renders as parameterless "tlb").
+func tlbScheme(env largeEnv, deadline units.Time) Scheme {
+	return Scheme{Name: "tlb", Params: tlbParams(env.tlbConfig(deadline), spec.LeafSpineEnv(env.topo))}
+}
+
 // Fig10 reproduces the web-search large-scale sweep (§6.2): AFCT, tail
 // FCT and deadline misses of short flows plus long-flow throughput for
 // ECMP, RPS, Presto, LetFlow and TLB over loads 0.1–0.8.
 func Fig10(o Options) ([]Figure, error) {
 	env := newLargeEnv(websearchSizes(), o.FlowsPerRun)
-	schemes := append(baselines(150*units.Microsecond),
-		Scheme{Name: "tlb", Factory: tlbFactory(env.tlbConfig(0))})
+	schemes := append(baselines(150*units.Microsecond), tlbScheme(env, 0))
 	return largeSweep(o, env, schemes, "fig10", "web search")
 }
 
@@ -102,8 +102,7 @@ func Fig10(o Options) ([]Figure, error) {
 // preserved.
 func Fig11(o Options) ([]Figure, error) {
 	env := newLargeEnv(dataminingSizes(), o.FlowsPerRun*2/3)
-	schemes := append(baselines(150*units.Microsecond),
-		Scheme{Name: "tlb", Factory: tlbFactory(env.tlbConfig(0))})
+	schemes := append(baselines(150*units.Microsecond), tlbScheme(env, 0))
 	return largeSweep(o, env, schemes, "fig11", "data mining")
 }
 
@@ -124,20 +123,9 @@ func Fig12(o Options) ([]Figure, error) {
 	}
 	schemes := make([]Scheme, 0, len(percentiles))
 	for _, p := range percentiles {
-		schemes = append(schemes, Scheme{Name: p.name, Factory: tlbFactory(env.tlbConfig(p.d))})
+		s := tlbScheme(env, p.d)
+		s.Label = p.name
+		schemes = append(schemes, s)
 	}
 	return largeSweep(o, env, schemes, "fig12", "web search, deadline-agnostic")
-}
-
-// websearchSizes returns the web-search distribution truncated at
-// 20 MB: the 2% beyond it dominates runtime without changing the
-// short-flow metrics or the ordering of long-flow throughputs.
-func websearchSizes() workload.SizeDist {
-	return workload.Truncated{Dist: workload.WebSearch(), Max: 20 * units.MB}
-}
-
-// dataminingSizes returns the data-mining distribution truncated at
-// 50 MB.
-func dataminingSizes() workload.SizeDist {
-	return workload.Truncated{Dist: workload.DataMining(), Max: 50 * units.MB}
 }

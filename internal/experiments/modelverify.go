@@ -6,6 +6,7 @@ import (
 
 	"tlb/internal/model"
 	"tlb/internal/sim"
+	"tlb/internal/spec"
 	"tlb/internal/stats"
 	"tlb/internal/units"
 )
@@ -45,25 +46,27 @@ func (e fig7Env) modelParams() model.Params {
 	}
 }
 
-// qthScenario builds the run measuring the short-flow deadline-miss
+// qthSpec builds the run measuring the short-flow deadline-miss
 // ratio under a fixed switching threshold qth. label keys the scenario
 // to its sweep point for progress lines and error reports.
-func (e fig7Env) qthScenario(label string, qth int, seed uint64) sim.Scenario {
+func (e fig7Env) qthSpec(label string, qth int, seed uint64) spec.Spec {
 	cfg := e.tlbConfig()
 	cfg.FixedQTh = qth
 	cfg.Deadline = e.deadline
-	return e.scenario(fmt.Sprintf("%s-q%d", label, qth), tlbFactory(cfg), seed, func(sc *sim.Scenario) {
-		// Override deadlines to the fixed model deadline D so the
-		// measurement matches the model's question ("do shorts
-		// finish within D").
-		for i := range sc.Flows {
-			if sc.Flows[i].Size <= 100*units.KB {
-				sc.Flows[i].Deadline = sc.Flows[i].Start + e.deadline
-			} else {
-				sc.Flows[i].Deadline = 0
-			}
-		}
-	})
+	s := Scheme{
+		Name:   "tlb",
+		Label:  fmt.Sprintf("%s-q%d", label, qth),
+		Params: tlbParams(cfg, spec.LeafSpineEnv(e.topo)),
+	}
+	sp := e.spec(s, seed)
+	// Override deadlines to the fixed model deadline D so the
+	// measurement matches the model's question ("do shorts finish
+	// within D").
+	sp.Workload.DeadlineOverride = &spec.DeadlineOverride{
+		Deadline:  spec.Dur(e.deadline),
+		OnlyBelow: spec.Sz(100 * units.KB),
+	}
+	return sp
 }
 
 // qthSearchTol is the residual miss ratio the search tolerates: a
@@ -103,9 +106,9 @@ func newQthSearch(env fig7Env, label string, seed uint64, verbose func(string, .
 
 func (q *qthSearch) done() bool { return q.phase == 3 }
 
-// scenario returns the run for the pending probe.
-func (q *qthSearch) scenario() sim.Scenario {
-	return q.env.qthScenario(q.label, q.probe, q.seed)
+// spec returns the run for the pending probe.
+func (q *qthSearch) spec() spec.Spec {
+	return q.env.qthSpec(q.label, q.probe, q.seed)
 }
 
 // observe consumes the pending probe's miss ratio and advances the
@@ -207,21 +210,21 @@ func Fig7(o Options) ([]Figure, error) {
 
 	// Lockstep rounds: batch every active search's pending probe.
 	for round := 1; ; round++ {
-		var scs []sim.Scenario
+		var specs []spec.Spec
 		var owner []int // batch position -> points index
 		for pi := range points {
 			if !points[pi].search.done() {
-				scs = append(scs, points[pi].search.scenario())
+				specs = append(specs, points[pi].search.spec())
 				owner = append(owner, pi)
 			}
 		}
-		if len(scs) == 0 {
+		if len(specs) == 0 {
 			break
 		}
-		o.logf("fig7: search round %d, %d active probes", round, len(scs))
-		results, err := o.runBatch("fig7", scs)
+		o.logf("fig7: search round %d, %d active probes", round, len(specs))
+		results, err := o.runSpecs("fig7", specs)
 		if err != nil {
-			return nil, fmt.Errorf("fig7: %w", err)
+			return nil, err
 		}
 		for k, res := range results {
 			points[owner[k]].search.observe(res.DeadlineMissRatio(sim.ShortFlows))

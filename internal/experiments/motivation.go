@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"tlb/internal/lb"
 	"tlb/internal/sim"
+	"tlb/internal/spec"
 	"tlb/internal/stats"
 	"tlb/internal/units"
 )
@@ -24,9 +24,9 @@ import (
 func Fig3And4(o Options) ([]Figure, error) {
 	env := newBasicEnv(256, 100, 5)
 	granularities := []Scheme{
-		{Name: "flow", Factory: lb.ECMP()},
-		{Name: "flowlet", Factory: lb.LetFlow(150 * units.Microsecond)},
-		{Name: "packet", Factory: lb.RPS()},
+		{Name: "ecmp", Label: "flow"},
+		{Name: "letflow", Label: "flowlet", Params: spec.Params{"gap": pDur(150 * units.Microsecond)}},
+		{Name: "rps", Label: "packet"},
 	}
 
 	queueCDF := Figure{ID: "fig3a", Title: "Queue length seen by short-flow packets",
@@ -42,20 +42,20 @@ func Fig3And4(o Options) ([]Figure, error) {
 	tput := Figure{ID: "fig4c", Title: "Mean long-flow throughput",
 		YLabel: "fraction of link capacity"}
 
-	scs := make([]sim.Scenario, len(granularities))
+	specs := make([]spec.Spec, len(granularities))
 	for i, g := range granularities {
-		scs[i] = env.scenario(g.Name, g.Factory, o.Seed, func(sc *sim.Scenario) {
-			sc.SampleShortPackets = true
-		})
+		sp := env.spec(g, o.Seed)
+		sp.Outputs.SampleShortPackets = true
+		specs[i] = sp
 	}
-	results, err := o.runBatch("fig3/4", scs)
+	results, err := o.runSpecs("fig3/4", specs)
 	if err != nil {
 		return nil, fmt.Errorf("fig3/4: %w", err)
 	}
 	for i, g := range granularities {
 		res := results[i]
 		if res.CompletedCount(sim.AllFlows) < len(res.Flows) {
-			o.logf("fig3/4: %s left %d flows unfinished at %v", g.Name,
+			o.logf("fig3/4: %s left %d flows unfinished at %v", g.label(),
 				len(res.Flows)-res.CompletedCount(sim.AllFlows), res.EndTime)
 		}
 
@@ -64,19 +64,36 @@ func Fig3And4(o Options) ([]Figure, error) {
 			ql.Add(float64(ps.QueueLen))
 		}
 		queueCDF.Series = append(queueCDF.Series, stats.Series{
-			Name: g.Name, Points: ql.CDF(50),
+			Name: g.label(), Points: ql.CDF(50),
 		})
-		dupAck.Bars = append(dupAck.Bars, Bar{g.Name, res.DupAckRatio(sim.ShortFlows)})
+		dupAck.Bars = append(dupAck.Bars, Bar{g.label(), res.DupAckRatio(sim.ShortFlows)})
 		fctCDF.Series = append(fctCDF.Series, stats.Series{
-			Name: g.Name, Points: res.FCTSample(sim.ShortFlows).CDF(50),
+			Name: g.label(), Points: res.FCTSample(sim.ShortFlows).CDF(50),
 		})
 
-		util.Bars = append(util.Bars, Bar{g.Name, res.UplinkUtilization()})
-		ooo.Bars = append(ooo.Bars, Bar{g.Name, res.OutOfOrderRatio(sim.LongFlows)})
+		util.Bars = append(util.Bars, Bar{g.label(), res.UplinkUtilization()})
+		ooo.Bars = append(ooo.Bars, Bar{g.label(), res.OutOfOrderRatio(sim.LongFlows)})
 		capacity := float64(env.topo.FabricLink.Bandwidth)
-		tput.Bars = append(tput.Bars, Bar{g.Name, float64(res.Goodput(sim.LongFlows)) / capacity})
+		tput.Bars = append(tput.Bars, Bar{g.label(), float64(res.Goodput(sim.LongFlows)) / capacity})
 	}
 	return []Figure{queueCDF, dupAck, fctCDF, util, ooo, tput}, nil
+}
+
+// fig89Specs builds the §6.1 basic-test batch: TLB against the
+// baselines in the 3-long/100-short environment, with the
+// instantaneous time series enabled. Shared with the golden-spec
+// tests.
+func fig89Specs(o Options) ([]Scheme, []spec.Spec) {
+	env := newBasicEnv(256, 100, 3)
+	schemes := append(baselines(150*units.Microsecond), Scheme{Name: "tlb"})
+	specs := make([]spec.Spec, len(schemes))
+	for i, s := range schemes {
+		sp := env.spec(s, o.Seed)
+		sp.Outputs.CollectTimeSeries = true
+		sp.Outputs.TimeBucket = spec.Dur(2 * units.Millisecond)
+		specs[i] = sp
+	}
+	return schemes, specs
 }
 
 // Fig8And9 reproduces the §6.1 basic performance test: TLB against the
@@ -89,9 +106,7 @@ func Fig3And4(o Options) ([]Figure, error) {
 //	fig9a — long-flow reordering ratio over time
 //	fig9b — long-flow aggregate goodput over time (Gbps)
 func Fig8And9(o Options) ([]Figure, error) {
-	env := newBasicEnv(256, 100, 3)
-	schemes := append(baselines(150*units.Microsecond),
-		Scheme{Name: "tlb", Factory: tlbFactory(env.tlbConfig())})
+	schemes, specs := fig89Specs(o)
 
 	shortOOO := Figure{ID: "fig8a", Title: "Short-flow reordering over time",
 		XLabel: "time (s)", YLabel: "out-of-order fraction"}
@@ -104,35 +119,28 @@ func Fig8And9(o Options) ([]Figure, error) {
 	summary := Figure{ID: "fig8-9-summary", Title: "Basic test summary (whole run)",
 		YLabel: "scheme: shortOOO shortQueueDelay(µs) longOOO longGoodput(Gbps)"}
 
-	scs := make([]sim.Scenario, len(schemes))
-	for i, s := range schemes {
-		scs[i] = env.scenario(s.Name, s.Factory, o.Seed, func(sc *sim.Scenario) {
-			sc.CollectTimeSeries = true
-			sc.TimeBucket = 2 * units.Millisecond
-		})
-	}
-	results, err := o.runBatch("fig8/9", scs)
+	results, err := o.runSpecs("fig8/9", specs)
 	if err != nil {
 		return nil, fmt.Errorf("fig8/9: %w", err)
 	}
 	for i, s := range schemes {
 		res := results[i]
 		shortOOO.Series = append(shortOOO.Series, stats.Series{
-			Name: s.Name, Points: res.ShortOOORatio.Means(),
+			Name: s.label(), Points: res.ShortOOORatio.Means(),
 		})
 		shortDelay.Series = append(shortDelay.Series, stats.Series{
-			Name: s.Name, Points: res.ShortQueueDelayUs.Means(),
+			Name: s.label(), Points: res.ShortQueueDelayUs.Means(),
 		})
 		longOOO.Series = append(longOOO.Series, stats.Series{
-			Name: s.Name, Points: res.LongOOORatio.Means(),
+			Name: s.label(), Points: res.LongOOORatio.Means(),
 		})
 		rates := res.LongGoodputBytes.Rates()
 		for i := range rates {
 			rates[i].Y = rates[i].Y * 8 / 1e9 // bytes/s -> Gbps
 		}
-		longTput.Series = append(longTput.Series, stats.Series{Name: s.Name, Points: rates})
+		longTput.Series = append(longTput.Series, stats.Series{Name: s.label(), Points: rates})
 		summary.Bars = append(summary.Bars, Bar{
-			Label: s.Name,
+			Label: s.label(),
 			Value: float64(res.Goodput(sim.LongFlows)) / 1e9,
 		})
 	}

@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
 	"time"
 
 	"tlb/internal/core"
 	"tlb/internal/eventsim"
+	"tlb/internal/lb"
 	"tlb/internal/netem"
+	"tlb/internal/spec"
 	"tlb/internal/units"
 )
 
@@ -33,7 +36,8 @@ func Fig15(o Options) ([]Figure, error) {
 	}
 
 	env := newTestbedEnv(100, 4)
-	schemes := append(baselines(testbedFlowletGap), Scheme{Name: "tlb", Factory: tlbFactory(env.tlbConfig())})
+	schemes := env.schemes()
+	lbEnv := spec.LeafSpineEnv(env.topo)
 
 	cpu := Figure{ID: "fig15a", Title: "Per-packet decision cost", YLabel: "ns/decision"}
 	mem := Figure{ID: "fig15b", Title: "Per-switch scheme state", YLabel: "bytes after 1000-flow mix"}
@@ -41,7 +45,11 @@ func Fig15(o Options) ([]Figure, error) {
 	const decisions = 200000
 	const flows = 1000
 	for _, s := range schemes {
-		bal := s.Factory(sim, rng.Split(), ports)
+		factory, err := lb.Build(s.Name, s.Params, "scheme.params", lbEnv)
+		if err != nil {
+			return nil, fmt.Errorf("fig15: %s: %w", s.label(), err)
+		}
+		bal := factory(sim, rng.Split(), ports)
 		// The warm mix is what a leaf switch actually balances: every
 		// flow's data direction plus the reverse-direction pure-ACK
 		// stream of every fourth flow. The ACKs matter for fig15b: they
@@ -82,9 +90,9 @@ func Fig15(o Options) ([]Figure, error) {
 		}
 		elapsed := time.Since(start)
 
-		cpu.Bars = append(cpu.Bars, Bar{s.Name, float64(elapsed.Nanoseconds()) / decisions})
-		mem.Bars = append(mem.Bars, Bar{s.Name, stateBytes})
-		o.logf("fig15: %s %.1f ns/decision", s.Name, float64(elapsed.Nanoseconds())/decisions)
+		cpu.Bars = append(cpu.Bars, Bar{s.label(), float64(elapsed.Nanoseconds()) / decisions})
+		mem.Bars = append(mem.Bars, Bar{s.label(), stateBytes})
+		o.logf("fig15: %s %.1f ns/decision", s.label(), float64(elapsed.Nanoseconds())/decisions)
 		if tl, ok := bal.(*core.TLB); ok {
 			// TLB's decision breakdown: control routing is counted apart
 			// from short/long data decisions (Stats.ControlPackets).

@@ -6,6 +6,7 @@ import (
 	"tlb/internal/core"
 	"tlb/internal/netem"
 	"tlb/internal/sim"
+	"tlb/internal/spec"
 	"tlb/internal/stats"
 	"tlb/internal/topology"
 	"tlb/internal/transport"
@@ -64,36 +65,48 @@ func (e testbedEnv) tlbConfig() core.Config {
 	return cfg
 }
 
-func (e testbedEnv) flows(seed uint64) []workload.Flow {
-	senders := make([]int, e.topo.HostsPerLeaf)
-	receivers := make([]int, e.topo.HostsPerLeaf)
-	for i := range senders {
-		senders[i] = i
-		receivers[i] = e.topo.HostsPerLeaf + i
-	}
-	mix := workload.StaticMix{
-		ShortFlows:    e.shorts,
-		LongFlows:     e.longs,
-		ShortSizes:    workload.Uniform{MinSize: 10 * units.KB, MaxSize: 100 * units.KB},
-		LongSizes:     workload.Fixed{Size: 5 * units.MB},
-		Senders:       senders,
-		Receivers:     receivers,
-		ArrivalJitter: 500 * units.Millisecond,
-		Deadlines: workload.DeadlineDist{
+// workloadSpec is the testbed's static mix: senders on leaf 0,
+// receivers on leaf 1 (the spec compiler's default pairing), shorts
+// arriving over a 500 ms window against the established longs.
+func (e testbedEnv) workloadSpec() spec.Workload {
+	return spec.Workload{
+		Kind: "mix",
+		Groups: []spec.MixGroup{{
+			Shorts:        e.shorts,
+			Longs:         e.longs,
+			ShortSizes:    sizeSpec(workload.Uniform{MinSize: 10 * units.KB, MaxSize: 100 * units.KB}),
+			LongSizes:     sizeSpec(workload.Fixed{Size: 5 * units.MB}),
+			ArrivalJitter: spec.Dur(500 * units.Millisecond),
+		}},
+		Deadlines: deadlineSpec(workload.DeadlineDist{
 			Min: 2 * units.Second, Max: 6 * units.Second,
 			OnlyBelow: 100 * units.KB,
+		}),
+	}
+}
+
+// spec builds one scheme's scenario description in this environment.
+func (e testbedEnv) spec(s Scheme, name string, seed uint64, maxTime units.Time) spec.Spec {
+	return spec.Spec{
+		Version:     spec.Version,
+		Name:        name,
+		Seed:        seed,
+		Scheme:      s.schemeSpec(),
+		Topology:    topoSpec(e.topo),
+		Transport:   transportSpec(e.transport),
+		Workload:    e.workloadSpec(),
+		Replication: s.Replication,
+		Run: spec.Run{
+			MaxTime:      spec.Dur(maxTime),
+			StopWhenDone: true,
 		},
 	}
-	flows, err := mix.Generate(newRNG(seed), 0)
-	if err != nil {
-		panic(err)
-	}
-	return flows
 }
 
 // schemes returns the five §7 schemes configured for the slow fabric.
 func (e testbedEnv) schemes() []Scheme {
-	return append(baselines(testbedFlowletGap), Scheme{Name: "tlb", Factory: tlbFactory(e.tlbConfig())})
+	return append(baselines(testbedFlowletGap),
+		Scheme{Name: "tlb", Params: tlbParams(e.tlbConfig(), spec.LeafSpineEnv(e.topo))})
 }
 
 // normalizedPanels builds the two §7 panels: AFCT of short flows and
@@ -144,40 +157,30 @@ func (p *normalizedPanels) addColumn(x float64, order []string, results map[stri
 }
 
 // testbedSweep runs all schemes over a list of environment variants:
-// the whole (x x scheme) grid goes to the shared runner as one batch,
-// and the normalized columns are reduced in input order.
-func testbedSweep(o Options, prefix, xlabel string, xs []float64, mk func(x float64) testbedEnv, mut func(x float64, env *testbedEnv, sc *sim.Scenario)) ([]Figure, error) {
+// the whole (x x scheme) grid goes to the shared runner as one spec
+// batch, and the normalized columns are reduced in input order.
+func testbedSweep(o Options, prefix, xlabel string, xs []float64, mk func(x float64) testbedEnv, mut func(x float64, env *testbedEnv, sp *spec.Spec)) ([]Figure, error) {
 	panels := newNormalizedPanels(prefix, xlabel)
 	type cell struct {
 		x      float64
 		scheme string
 	}
 	var cells []cell
-	var scs []sim.Scenario
+	var specs []spec.Spec
 	for _, x := range xs {
 		env := mk(x)
 		for _, s := range env.schemes() {
-			sc := sim.Scenario{
-				Name:         fmt.Sprintf("%s-%s-%v", prefix, s.Name, x),
-				Topology:     env.topo,
-				Transport:    env.transport,
-				Balancer:     s.Factory,
-				SchemeName:   s.Name,
-				Seed:         o.Seed,
-				Flows:        env.flows(o.Seed + 1),
-				StopWhenDone: true,
-				MaxTime:      120 * units.Second,
-			}
+			sp := env.spec(s, fmt.Sprintf("%s-%s-%v", prefix, s.label(), x), o.Seed, 120*units.Second)
 			if mut != nil {
-				mut(x, &env, &sc)
+				mut(x, &env, &sp)
 			}
-			cells = append(cells, cell{x, s.Name})
-			scs = append(scs, sc)
+			cells = append(cells, cell{x, s.label()})
+			specs = append(specs, sp)
 		}
 	}
-	results, err := o.runBatch(prefix, scs)
+	results, err := o.runSpecs(prefix, specs)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", prefix, err)
+		return nil, err
 	}
 	// Flush one normalized column per x value, in input order.
 	column := map[string]*sim.Result{}

@@ -1,17 +1,13 @@
 package experiments
 
 import (
-	"fmt"
-
 	"tlb/internal/core"
-	"tlb/internal/eventsim"
-	"tlb/internal/lb"
 	"tlb/internal/netem"
 	"tlb/internal/sim"
+	"tlb/internal/spec"
 	"tlb/internal/topology"
 	"tlb/internal/transport"
 	"tlb/internal/units"
-	"tlb/internal/workload"
 )
 
 // AblationTransport re-runs the load-0.7 web-search comparison under
@@ -40,32 +36,32 @@ func AblationTransport(o Options) ([]Figure, error) {
 		{"dctcp+delack", func(tc *transport.Config, _ *topology.Config) { tc.DelayedAck = true }},
 	}
 	schemes := []Scheme{
-		{Name: "ecmp", Factory: lb.ECMP()},
-		{Name: "rps", Factory: lb.RPS()},
-		{Name: "letflow", Factory: lb.LetFlow(150 * units.Microsecond)},
+		{Name: "ecmp"},
+		{Name: "rps"},
+		{Name: "letflow", Params: spec.Params{"gap": pDur(150 * units.Microsecond)}},
 	}
 
 	var labels []string
-	var scs []sim.Scenario
+	var specs []spec.Spec
 	for _, v := range variants {
 		env := newLargeEnv(websearchSizes(), o.FlowsPerRun)
 		tcfg := transport.DefaultConfig()
 		v.mut(&tcfg, &env.topo)
 		env.transport = tcfg
-		all := append(append([]Scheme{}, schemes...),
-			Scheme{Name: "tlb", Factory: tlbFactory(env.tlbConfig(0))})
+		all := append(append([]Scheme{}, schemes...), tlbScheme(env, 0))
 		for _, s := range all {
-			sc, err := env.scenario(Scheme{Name: s.Name + "-" + v.name, Factory: s.Factory, Replication: s.Replication}, ablationLoad, o.Seed)
-			if err != nil {
-				return nil, fmt.Errorf("ablation-transport %s/%s: %w", s.Name, v.name, err)
-			}
 			labels = append(labels, s.Name+"/"+v.name)
-			scs = append(scs, sc)
+			specs = append(specs, env.spec(Scheme{
+				Name:        s.Name,
+				Label:       s.Name + "-" + v.name,
+				Params:      s.Params,
+				Replication: s.Replication,
+			}, ablationLoad, o.Seed))
 		}
 	}
-	results, err := o.runBatch("ablation-transport", scs)
+	results, err := o.runSpecs("ablation-transport", specs)
 	if err != nil {
-		return nil, fmt.Errorf("ablation-transport: %w", err)
+		return nil, err
 	}
 	for i, res := range results {
 		afct.Bars = append(afct.Bars, Bar{labels[i], res.AFCT(sim.ShortFlows).Seconds()})
@@ -91,36 +87,49 @@ func FatTreeComparison(o Options) ([]Figure, error) {
 		FabricLink: netem.LinkConfig{Bandwidth: units.Gbps, Delay: 10 * units.Microsecond},
 		Queue:      netem.QueueConfig{Capacity: 256, ECNThreshold: 65},
 	}
-	flows := fatTreeFlows(o, ftCfg)
+	n := o.FlowsPerRun / 2
+	if n < 60 {
+		n = 60
+	}
+	// An inter-pod web-search-style workload: uniform random arrival
+	// gaps, cross-pod host pairs, deadlines on the mice.
+	wl := spec.Workload{
+		Kind: "interpod",
+		InterPod: &spec.InterPod{
+			Flows:             n,
+			Sizes:             websearchSizes(),
+			MaxGap:            spec.Dur(200 * units.Microsecond),
+			DeadlineBase:      spec.Dur(5 * units.Millisecond),
+			DeadlineJitter:    spec.Dur(20 * units.Millisecond),
+			DeadlineOnlyBelow: spec.Sz(100 * units.KB),
+		},
+	}
 
-	tlbCfg := tlbFatTreeConfig(ftCfg)
-	schemes := append(baselines(150*units.Microsecond), Scheme{Name: "tlb", Factory: tlbFactory(tlbCfg)})
-	scs := make([]sim.Scenario, len(schemes))
+	schemes := append(baselines(150*units.Microsecond),
+		Scheme{Name: "tlb", Params: tlbParams(tlbFatTreeConfig(ftCfg), spec.FatTreeEnv(ftCfg))})
+	specs := make([]spec.Spec, len(schemes))
 	for i, s := range schemes {
-		scs[i] = sim.Scenario{
-			Name:       "fattree-" + s.Name,
-			Transport:  transport.DefaultConfig(),
-			Balancer:   s.Factory,
-			SchemeName: s.Name,
-			Seed:       o.Seed,
-			// flows is shared read-only across the batch: sim.Run never
-			// mutates a scenario's flow slice.
-			Flows: flows,
-			BuildNetwork: func(sm *eventsim.Sim, f lb.Factory, r *eventsim.RNG, deliver topology.DeliverFunc) (topology.Network, error) {
-				return topology.NewFatTree(sm, ftCfg, f, r, deliver)
+		specs[i] = spec.Spec{
+			Version:  spec.Version,
+			Name:     "fattree-" + s.label(),
+			Seed:     o.Seed,
+			Scheme:   s.schemeSpec(),
+			Topology: fatTreeSpec(ftCfg),
+			Workload: wl,
+			Run: spec.Run{
+				MaxTime:      spec.Dur(60 * units.Second),
+				StopWhenDone: true,
 			},
-			StopWhenDone: true,
-			MaxTime:      60 * units.Second,
 		}
 	}
-	results, err := o.runBatch("fattree", scs)
+	results, err := o.runSpecs("fattree", specs)
 	if err != nil {
-		return nil, fmt.Errorf("fattree: %w", err)
+		return nil, err
 	}
 	for i, s := range schemes {
 		res := results[i]
-		afct.Bars = append(afct.Bars, Bar{s.Name, res.AFCT(sim.ShortFlows).Seconds()})
-		tput.Bars = append(tput.Bars, Bar{s.Name, float64(res.Goodput(sim.LongFlows)) / 1e9})
+		afct.Bars = append(afct.Bars, Bar{s.label(), res.AFCT(sim.ShortFlows).Seconds()})
+		tput.Bars = append(tput.Bars, Bar{s.label(), float64(res.Goodput(sim.LongFlows)) / 1e9})
 	}
 	return []Figure{afct, tput}, nil
 }
@@ -134,33 +143,4 @@ func tlbFatTreeConfig(ft topology.FatTreeConfig) core.Config {
 	c.MaxQTh = ft.Queue.Capacity
 	c.MeanShortSize = 30 * units.KB
 	return c
-}
-
-// fatTreeFlows builds an inter-pod web-search-style workload.
-func fatTreeFlows(o Options, ft topology.FatTreeConfig) []workload.Flow {
-	rng := newRNG(o.Seed + 1)
-	sizes := websearchSizes()
-	n := o.FlowsPerRun / 2
-	if n < 60 {
-		n = 60
-	}
-	hosts := ft.Hosts()
-	perPod := hosts / ft.K
-	var flows []workload.Flow
-	at := units.Time(0)
-	for i := 0; i < n; i++ {
-		at += units.Time(rng.Intn(int(200 * units.Microsecond)))
-		src := rng.Intn(hosts)
-		dst := rng.Intn(hosts)
-		for dst/perPod == src/perPod {
-			dst = rng.Intn(hosts)
-		}
-		size := sizes.Sample(rng)
-		f := workload.Flow{Src: src, Dst: dst, Size: size, Start: at}
-		if size <= 100*units.KB {
-			f.Deadline = at + 5*units.Millisecond + units.Time(rng.Intn(int(20*units.Millisecond)))
-		}
-		flows = append(flows, f)
-	}
-	return flows
 }

@@ -1,0 +1,329 @@
+// Scheme registry: the single place balancer names live. Every scheme
+// — the lb baselines here and TLB in internal/core — registers a name,
+// a parameter schema and a builder; cmd/tlbsim enumerates the registry
+// for -list-schemes, and the spec layer (internal/spec) builds
+// factories through it so scheme names and parameters are data, not
+// code.
+package lb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tlb/internal/units"
+)
+
+// ParamKind types a scheme parameter for documentation and decoding.
+type ParamKind uint8
+
+// Parameter kinds. Quantities (duration, bytes, bandwidth) decode from
+// the exact unit strings of units.Parse* ("150us", "64KiB", "20Mbps").
+const (
+	KindDuration ParamKind = iota
+	KindBytes
+	KindBandwidth
+	KindInt
+	KindFloat
+	KindBool
+	KindString
+)
+
+func (k ParamKind) String() string {
+	switch k {
+	case KindDuration:
+		return "duration"
+	case KindBytes:
+		return "bytes"
+	case KindBandwidth:
+		return "bandwidth"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	case KindString:
+		return "string"
+	default:
+		return fmt.Sprintf("ParamKind(%d)", uint8(k))
+	}
+}
+
+// Param documents one scheme parameter.
+type Param struct {
+	Name string
+	Kind ParamKind
+	// Doc is a one-line description including the default.
+	Doc string
+}
+
+// Env carries the topology-derived context a scheme builder may need
+// for its defaults (TLB derives its link rate, RTT and q_th cap from
+// the fabric; FlowBender mirrors the queue's ECN threshold).
+type Env struct {
+	// FabricBandwidth is the default leaf-spine link rate.
+	FabricBandwidth units.Bandwidth
+	// BaseRTT is the fabric round-trip propagation delay.
+	BaseRTT units.Time
+	// QueueCapacity is the per-queue buffer size in packets.
+	QueueCapacity int
+	// ECNThreshold is the queue marking threshold in packets.
+	ECNThreshold int
+}
+
+// Builder constructs a scheme's Factory from decoded arguments. Type
+// and range problems are accumulated on a (never returned directly),
+// so a builder reads every parameter and Build reports all problems at
+// once.
+type Builder func(a *Args, env Env) Factory
+
+// Registration describes one scheme.
+type Registration struct {
+	// Name is the canonical scheme name ("ecmp", "tlb", ...).
+	Name string
+	// Doc is a one-line description for -list-schemes.
+	Doc string
+	// Params is the scheme's parameter schema; Build rejects argument
+	// names outside it.
+	Params []Param
+	// Build constructs the factory.
+	Build Builder
+}
+
+var registry = map[string]Registration{}
+
+// Register adds a scheme to the registry. It panics on a duplicate or
+// empty name — registration happens in package init, where a panic is
+// a build-time error.
+func Register(r Registration) {
+	if r.Name == "" || r.Build == nil {
+		panic("lb: Register needs a name and a builder")
+	}
+	if _, dup := registry[r.Name]; dup {
+		panic("lb: duplicate scheme registration: " + r.Name)
+	}
+	registry[r.Name] = r
+}
+
+// Names returns every registered scheme name, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	//simlint:allow maporder(keys are collected here and sorted below before any use)
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns a scheme's registration.
+func Lookup(name string) (Registration, bool) {
+	r, ok := registry[name]
+	return r, ok
+}
+
+// Build constructs the named scheme's factory from raw arguments
+// (typically unmarshalled spec params). path prefixes error locations,
+// e.g. "scheme.params". All problems — unknown scheme, unknown
+// parameter names, type and range errors — are reported together.
+func Build(name string, args map[string]any, path string, env Env) (Factory, error) {
+	reg, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown scheme %q (valid: %s)", name, strings.Join(Names(), ", "))
+	}
+	a := NewArgs(args, path)
+	known := make(map[string]bool, len(reg.Params))
+	for _, p := range reg.Params {
+		known[p.Name] = true
+	}
+	for _, k := range a.sortedKeys() {
+		if !known[k] {
+			valid := make([]string, 0, len(reg.Params))
+			for _, p := range reg.Params {
+				valid = append(valid, p.Name)
+			}
+			if len(valid) == 0 {
+				a.errf("%s.%s: scheme %q takes no parameters", path, k, name)
+			} else {
+				a.errf("%s.%s: unknown parameter for scheme %q (valid: %s)",
+					path, k, name, strings.Join(valid, ", "))
+			}
+		}
+	}
+	f := reg.Build(a, env)
+	if err := a.Err(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Args decodes raw scheme arguments, accumulating every problem
+// instead of failing on the first. Quantity values are the unit
+// strings of internal/units; numbers may arrive as int, int64 or
+// float64 (encoding/json produces float64).
+type Args struct {
+	vals map[string]any
+	path string
+	errs []string
+}
+
+// NewArgs wraps raw arguments; path prefixes error locations.
+func NewArgs(vals map[string]any, path string) *Args {
+	return &Args{vals: vals, path: path}
+}
+
+func (a *Args) errf(format string, args ...any) {
+	a.errs = append(a.errs, fmt.Sprintf(format, args...))
+}
+
+// Errorf records a builder-side problem with the named parameter (e.g.
+// an enum value outside its domain), located like the built-in type
+// errors.
+func (a *Args) Errorf(name, format string, args ...any) {
+	a.errf("%s.%s: %s", a.path, name, fmt.Sprintf(format, args...))
+}
+
+// Err returns all accumulated problems, one per line, or nil.
+func (a *Args) Err() error {
+	if len(a.errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%s", strings.Join(a.errs, "\n"))
+}
+
+func (a *Args) sortedKeys() []string {
+	keys := make([]string, 0, len(a.vals))
+	//simlint:allow maporder(keys are collected here and sorted below before any use)
+	for k := range a.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Duration reads a duration parameter ("150us"), or def when absent.
+func (a *Args) Duration(name string, def units.Time) units.Time {
+	v, ok := a.vals[name]
+	if !ok {
+		return def
+	}
+	s, ok := v.(string)
+	if !ok {
+		a.errf("%s.%s: want a duration string like %q, got %v", a.path, name, "150us", v)
+		return def
+	}
+	t, err := units.ParseTime(s)
+	if err != nil {
+		a.errf("%s.%s: %v", a.path, name, err)
+		return def
+	}
+	return t
+}
+
+// Bytes reads a size parameter ("100KB"), or def when absent.
+func (a *Args) Bytes(name string, def units.Bytes) units.Bytes {
+	v, ok := a.vals[name]
+	if !ok {
+		return def
+	}
+	s, ok := v.(string)
+	if !ok {
+		a.errf("%s.%s: want a size string like %q, got %v", a.path, name, "64KiB", v)
+		return def
+	}
+	b, err := units.ParseBytes(s)
+	if err != nil {
+		a.errf("%s.%s: %v", a.path, name, err)
+		return def
+	}
+	return b
+}
+
+// Bandwidth reads a rate parameter ("1Gbps"), or def when absent.
+func (a *Args) Bandwidth(name string, def units.Bandwidth) units.Bandwidth {
+	v, ok := a.vals[name]
+	if !ok {
+		return def
+	}
+	s, ok := v.(string)
+	if !ok {
+		a.errf("%s.%s: want a bandwidth string like %q, got %v", a.path, name, "1Gbps", v)
+		return def
+	}
+	b, err := units.ParseBandwidth(s)
+	if err != nil {
+		a.errf("%s.%s: %v", a.path, name, err)
+		return def
+	}
+	return b
+}
+
+// Int reads an integer parameter, or def when absent.
+func (a *Args) Int(name string, def int) int {
+	v, ok := a.vals[name]
+	if !ok {
+		return def
+	}
+	switch n := v.(type) {
+	case int:
+		return n
+	case int64:
+		return int(n)
+	case float64:
+		// encoding/json decodes every number as float64; accept it only
+		// when it is exactly an integer.
+		//simlint:allow floateq(integrality check on a decoded JSON number; exact comparison is the intent)
+		if n == float64(int(n)) {
+			return int(n)
+		}
+	}
+	a.errf("%s.%s: want an integer, got %v", a.path, name, v)
+	return def
+}
+
+// Float reads a float parameter, or def when absent.
+func (a *Args) Float(name string, def float64) float64 {
+	v, ok := a.vals[name]
+	if !ok {
+		return def
+	}
+	switch n := v.(type) {
+	case float64:
+		return n
+	case int:
+		return float64(n)
+	case int64:
+		return float64(n)
+	}
+	a.errf("%s.%s: want a number, got %v", a.path, name, v)
+	return def
+}
+
+// Bool reads a boolean parameter, or def when absent.
+func (a *Args) Bool(name string, def bool) bool {
+	v, ok := a.vals[name]
+	if !ok {
+		return def
+	}
+	b, ok := v.(bool)
+	if !ok {
+		a.errf("%s.%s: want true or false, got %v", a.path, name, v)
+		return def
+	}
+	return b
+}
+
+// String reads a string parameter, or def when absent.
+func (a *Args) String(name string, def string) string {
+	v, ok := a.vals[name]
+	if !ok {
+		return def
+	}
+	s, ok := v.(string)
+	if !ok {
+		a.errf("%s.%s: want a string, got %v", a.path, name, v)
+		return def
+	}
+	return s
+}

@@ -1,0 +1,115 @@
+package lb
+
+import (
+	"strings"
+	"testing"
+
+	"tlb/internal/units"
+)
+
+func testEnv() Env {
+	return Env{
+		FabricBandwidth: units.Gbps,
+		BaseRTT:         100 * units.Microsecond,
+		QueueCapacity:   256,
+		ECNThreshold:    65,
+	}
+}
+
+func TestNamesCoverBaselines(t *testing.T) {
+	names := Names()
+	got := map[string]bool{}
+	for _, n := range names {
+		got[n] = true
+	}
+	for _, want := range []string{"ecmp", "rps", "presto", "letflow", "drill",
+		"flowbender", "conga", "hermes", "wcmp", "packet-sq"} {
+		if !got[want] {
+			t.Errorf("registry missing %q (have %v)", want, names)
+		}
+	}
+}
+
+func TestBuildProducesWorkingFactories(t *testing.T) {
+	for _, name := range Names() {
+		f, err := Build(name, nil, "scheme.params", testEnv())
+		if err != nil {
+			t.Fatalf("Build(%s): %v", name, err)
+		}
+		if f == nil {
+			t.Fatalf("Build(%s): nil factory", name)
+		}
+	}
+}
+
+func TestBuildUnknownSchemeListsValid(t *testing.T) {
+	_, err := Build("nope", nil, "scheme.params", testEnv())
+	if err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	for _, want := range []string{"ecmp", "letflow"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not list %q", err, want)
+		}
+	}
+}
+
+func TestBuildAggregatesErrors(t *testing.T) {
+	_, err := Build("letflow", map[string]any{
+		"gap":  "10lightyears",
+		"nope": 1,
+	}, "scheme.params", testEnv())
+	if err == nil {
+		t.Fatal("bad args accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "scheme.params.gap") {
+		t.Errorf("missing gap location in %q", msg)
+	}
+	if !strings.Contains(msg, "scheme.params.nope") || !strings.Contains(msg, "gap") {
+		t.Errorf("unknown-param error should name the valid params: %q", msg)
+	}
+}
+
+func TestArgsTypedAccessors(t *testing.T) {
+	a := NewArgs(map[string]any{
+		"d":    float64(3), // the type encoding/json produces
+		"gap":  "150us",
+		"cell": "64KiB",
+		"bw":   "20Mbps",
+		"frac": 0.25,
+		"on":   true,
+		"s":    "hello",
+	}, "p")
+	if got := a.Int("d", 0); got != 3 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := a.Duration("gap", 0); got != 150*units.Microsecond {
+		t.Errorf("Duration = %v", got)
+	}
+	if got := a.Bytes("cell", 0); got != 64*units.KiB {
+		t.Errorf("Bytes = %v", got)
+	}
+	if got := a.Bandwidth("bw", 0); got != 20*units.Mbps {
+		t.Errorf("Bandwidth = %v", got)
+	}
+	if got := a.Float("frac", 0); got != 0.25 {
+		t.Errorf("Float = %v", got)
+	}
+	if !a.Bool("on", false) || a.String("s", "") != "hello" {
+		t.Error("Bool/String accessors")
+	}
+	// Absent keys fall back to defaults without recording errors.
+	if got := a.Int("missing", 7); got != 7 {
+		t.Errorf("default = %d", got)
+	}
+	if err := a.Err(); err != nil {
+		t.Fatalf("unexpected errors: %v", err)
+	}
+	// Non-integral float is a type error.
+	bad := NewArgs(map[string]any{"d": 2.5}, "p")
+	bad.Int("d", 0)
+	if bad.Err() == nil {
+		t.Error("non-integral float accepted as int")
+	}
+}

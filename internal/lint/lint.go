@@ -58,6 +58,7 @@ var simPackages = map[string]bool{
 	"eventsim": true, "netem": true, "transport": true, "core": true,
 	"lb": true, "model": true, "workload": true, "topology": true,
 	"trace": true, "stats": true, "units": true, "faults": true,
+	"spec": true,
 }
 
 // isSimPackage reports whether the import path denotes simulation code:

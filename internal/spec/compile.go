@@ -1,0 +1,770 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+
+	"tlb/internal/eventsim"
+	"tlb/internal/faults"
+	"tlb/internal/lb"
+	"tlb/internal/netem"
+	"tlb/internal/sim"
+	"tlb/internal/topology"
+	"tlb/internal/transport"
+	"tlb/internal/units"
+	"tlb/internal/workload"
+)
+
+// LeafSpineEnv derives the scheme-builder environment from a
+// leaf-spine fabric: the spine paths' rate, the base RTT and the
+// queue parameters.
+func LeafSpineEnv(cfg topology.Config) lb.Env {
+	return lb.Env{
+		FabricBandwidth: cfg.FabricLink.Bandwidth,
+		BaseRTT:         cfg.BaseRTT(),
+		QueueCapacity:   cfg.Queue.Capacity,
+		ECNThreshold:    cfg.Queue.ECNThreshold,
+	}
+}
+
+// FatTreeEnv derives the scheme-builder environment from a fat-tree
+// fabric. The base RTT crosses 2 host links and 4 fabric links each
+// way (host-edge-agg-core-agg-edge-host).
+func FatTreeEnv(cfg topology.FatTreeConfig) lb.Env {
+	return lb.Env{
+		FabricBandwidth: cfg.FabricLink.Bandwidth,
+		BaseRTT:         2 * (2*cfg.HostLink.Delay + 4*cfg.FabricLink.Delay),
+		QueueCapacity:   cfg.Queue.Capacity,
+		ECNThreshold:    cfg.Queue.ECNThreshold,
+	}
+}
+
+// checker accumulates validation problems with JSON-path-style
+// locations so one pass reports everything wrong with a spec.
+type checker struct {
+	errs []string
+}
+
+func (c *checker) errf(path, format string, args ...any) {
+	c.errs = append(c.errs, path+": "+fmt.Sprintf(format, args...))
+}
+
+func (c *checker) err() error {
+	if len(c.errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%s", strings.Join(c.errs, "\n"))
+}
+
+// addErr folds an already-located error (e.g. from lb.Build) into the
+// accumulated list.
+func (c *checker) addErr(err error) {
+	if err != nil {
+		c.errs = append(c.errs, strings.Split(err.Error(), "\n")...)
+	}
+}
+
+func (c *checker) dur(path string, d Duration) units.Time {
+	if d == "" {
+		return 0
+	}
+	t, err := units.ParseTime(string(d))
+	if err != nil {
+		c.errf(path, "%v", err)
+		return 0
+	}
+	return t
+}
+
+func (c *checker) size(path string, s Size) units.Bytes {
+	if s == "" {
+		return 0
+	}
+	b, err := units.ParseBytes(string(s))
+	if err != nil {
+		c.errf(path, "%v", err)
+		return 0
+	}
+	return b
+}
+
+func (c *checker) rate(path string, r Rate) units.Bandwidth {
+	if r == "" {
+		return 0
+	}
+	b, err := units.ParseBandwidth(string(r))
+	if err != nil {
+		c.errf(path, "%v", err)
+		return 0
+	}
+	return b
+}
+
+// Validate checks the spec without materializing flows; it reports
+// every problem found, located by JSON path.
+func (s *Spec) Validate() error {
+	_, err := s.compile(false)
+	return err
+}
+
+// Compile validates the spec and lowers it to a runnable
+// sim.Scenario, materializing the workload's flows.
+func (s *Spec) Compile() (sim.Scenario, error) {
+	return s.compile(true)
+}
+
+func (s *Spec) compile(materialize bool) (sim.Scenario, error) {
+	c := &checker{}
+	var sc sim.Scenario
+
+	if s.Version != Version {
+		c.errf("version", "unsupported spec version %d (this build reads version %d)", s.Version, Version)
+	}
+	if s.Name == "" {
+		c.errf("name", "must be set (it labels the run's results)")
+	}
+	sc.Name = s.Name
+	sc.Seed = s.Seed
+
+	// Topology.
+	kind := s.Topology.Kind
+	if kind == "" {
+		kind = "leafspine"
+	}
+	var (
+		lsCfg topology.Config
+		ftCfg topology.FatTreeConfig
+		env   lb.Env
+	)
+	switch kind {
+	case "leafspine":
+		lsCfg = s.compileLeafSpine(c)
+		env = LeafSpineEnv(lsCfg)
+		sc.Topology = lsCfg
+	case "fattree":
+		ftCfg = s.compileFatTree(c)
+		env = FatTreeEnv(ftCfg)
+		cfg := ftCfg
+		sc.BuildNetwork = func(sm *eventsim.Sim, f lb.Factory, rng *eventsim.RNG, deliver topology.DeliverFunc) (topology.Network, error) {
+			return topology.NewFatTree(sm, cfg, f, rng, deliver)
+		}
+	default:
+		c.errf("topology.kind", "unknown kind %q (valid: leafspine, fattree)", s.Topology.Kind)
+	}
+
+	// Transport: the paper's DCTCP defaults with explicit overrides.
+	sc.Transport = s.compileTransport(c)
+
+	// Scheme, through the registry.
+	if s.Scheme.Name == "" {
+		c.errf("scheme.name", "must name a registered scheme (valid: %s)", strings.Join(lb.Names(), ", "))
+	} else {
+		f, err := lb.Build(s.Scheme.Name, s.Scheme.Params, "scheme.params", env)
+		if err != nil {
+			if _, known := lb.Lookup(s.Scheme.Name); !known {
+				c.errf("scheme.name", "%v", err)
+			} else {
+				c.addErr(err)
+			}
+		} else {
+			sc.Balancer = f
+		}
+	}
+	sc.SchemeName = s.Scheme.Label
+	if sc.SchemeName == "" {
+		sc.SchemeName = s.Scheme.Name
+	}
+
+	// Workload.
+	sc.Flows = s.compileWorkload(c, kind, lsCfg, ftCfg, materialize)
+
+	// Faults address leaf-spine pairs; the fat-tree build has no
+	// notion of them.
+	if len(s.Faults) > 0 {
+		if kind == "fattree" {
+			c.errf("faults", "fault schedules address leaf-spine links and cannot apply to a fattree topology")
+		}
+		sc.Faults = s.compileFaults(c)
+	}
+
+	if s.Replication != nil {
+		r := sim.ReplicationConfig{
+			Threshold: c.size("replication.threshold", s.Replication.Threshold),
+			Copies:    s.Replication.Copies,
+		}
+		if r.Copies < 2 {
+			c.errf("replication.copies", "need at least 2 copies, got %d", r.Copies)
+		}
+		if r.Threshold <= 0 {
+			c.errf("replication.threshold", "must be a positive size")
+		}
+		sc.Replication = &r
+	}
+
+	sc.MaxTime = c.dur("run.maxTime", s.Run.MaxTime)
+	if sc.MaxTime < 0 {
+		c.errf("run.maxTime", "must not be negative")
+	}
+	sc.StopWhenDone = s.Run.StopWhenDone
+	sc.ShortThreshold = c.size("run.shortThreshold", s.Run.ShortThreshold)
+
+	sc.SampleShortPackets = s.Outputs.SampleShortPackets
+	sc.CollectTimeSeries = s.Outputs.CollectTimeSeries
+	sc.TimeBucket = c.dur("outputs.timeBucket", s.Outputs.TimeBucket)
+
+	if err := c.err(); err != nil {
+		return sim.Scenario{}, fmt.Errorf("spec %q invalid:\n%w", s.Name, err)
+	}
+	return sc, nil
+}
+
+func (s *Spec) compileLeafSpine(c *checker) topology.Config {
+	t := s.Topology
+	for _, bad := range []struct {
+		path string
+		set  bool
+	}{
+		{"topology.k", t.K != 0},
+	} {
+		if bad.set {
+			c.errf(bad.path, "only applies to kind %q", "fattree")
+		}
+	}
+	cfg := topology.Config{
+		Leaves:       t.Leaves,
+		Spines:       t.Spines,
+		HostsPerLeaf: t.HostsPerLeaf,
+		HostLink:     s.compileLink(c, "topology.hostLink", t.HostLink),
+		FabricLink:   s.compileLink(c, "topology.fabricLink", t.FabricLink),
+		Queue: netem.QueueConfig{
+			Capacity:     t.Queue.Capacity,
+			ECNThreshold: t.Queue.ECNThreshold,
+		},
+	}
+	for i, o := range t.Overrides {
+		cfg.Overrides = append(cfg.Overrides, topology.LinkOverride{
+			Leaf:  o.Leaf,
+			Spine: o.Spine,
+			Link:  s.compileLink(c, fmt.Sprintf("topology.overrides[%d].link", i), o.Link),
+		})
+	}
+	if err := cfg.Validate(); err != nil {
+		c.errf("topology", "%v", err)
+	}
+	return cfg
+}
+
+func (s *Spec) compileFatTree(c *checker) topology.FatTreeConfig {
+	t := s.Topology
+	for _, bad := range []struct {
+		path string
+		set  bool
+	}{
+		{"topology.leaves", t.Leaves != 0},
+		{"topology.spines", t.Spines != 0},
+		{"topology.hostsPerLeaf", t.HostsPerLeaf != 0},
+		{"topology.overrides", len(t.Overrides) != 0},
+	} {
+		if bad.set {
+			c.errf(bad.path, "only applies to kind %q", "leafspine")
+		}
+	}
+	cfg := topology.FatTreeConfig{
+		K:          t.K,
+		HostLink:   s.compileLink(c, "topology.hostLink", t.HostLink),
+		FabricLink: s.compileLink(c, "topology.fabricLink", t.FabricLink),
+		Queue: netem.QueueConfig{
+			Capacity:     t.Queue.Capacity,
+			ECNThreshold: t.Queue.ECNThreshold,
+		},
+	}
+	if err := cfg.Validate(); err != nil {
+		c.errf("topology", "%v", err)
+	}
+	return cfg
+}
+
+func (s *Spec) compileLink(c *checker, path string, l Link) netem.LinkConfig {
+	cfg := netem.LinkConfig{
+		Bandwidth: c.rate(path+".bandwidth", l.Bandwidth),
+		Delay:     c.dur(path+".delay", l.Delay),
+	}
+	if l.Bandwidth == "" {
+		c.errf(path+".bandwidth", "must be set")
+	}
+	if cfg.Delay < 0 {
+		c.errf(path+".delay", "must not be negative")
+	}
+	return cfg
+}
+
+func (s *Spec) compileTransport(c *checker) transport.Config {
+	cfg := transport.DefaultConfig()
+	t := s.Transport
+	if t == nil {
+		return cfg
+	}
+	if t.MSS != nil {
+		cfg.MSS = c.size("transport.mss", *t.MSS)
+	}
+	if t.HeaderBytes != nil {
+		cfg.HeaderBytes = c.size("transport.headerBytes", *t.HeaderBytes)
+	}
+	if t.InitCwnd != nil {
+		cfg.InitCwnd = *t.InitCwnd
+	}
+	if t.RcvWindow != nil {
+		cfg.RcvWindow = c.size("transport.rcvWindow", *t.RcvWindow)
+	}
+	if t.MinRTO != nil {
+		cfg.MinRTO = c.dur("transport.minRTO", *t.MinRTO)
+	}
+	if t.MaxRTO != nil {
+		cfg.MaxRTO = c.dur("transport.maxRTO", *t.MaxRTO)
+	}
+	if t.InitialRTO != nil {
+		cfg.InitialRTO = c.dur("transport.initialRTO", *t.InitialRTO)
+	}
+	if t.DupAckThreshold != nil {
+		cfg.DupAckThreshold = *t.DupAckThreshold
+	}
+	if t.DCTCP != nil {
+		cfg.DCTCP = *t.DCTCP
+	}
+	if t.DCTCPGain != nil {
+		cfg.DCTCPGain = *t.DCTCPGain
+	}
+	if t.Handshake != nil {
+		cfg.Handshake = *t.Handshake
+	}
+	if t.DelayedAck != nil {
+		cfg.DelayedAck = *t.DelayedAck
+	}
+	if t.DelayedAckTimeout != nil {
+		cfg.DelayedAckTimeout = c.dur("transport.delayedAckTimeout", *t.DelayedAckTimeout)
+	}
+	if t.SACK != nil {
+		cfg.SACK = *t.SACK
+	}
+	return cfg
+}
+
+// Dist compiles the distribution alone, for callers that need the
+// sampler outside a full scenario (load calibration, tests).
+func (d SizeDist) Dist() (workload.SizeDist, error) {
+	var (
+		c checker
+		s Spec
+	)
+	dist := s.compileSizes(&c, "sizes", &d)
+	if err := c.err(); err != nil {
+		return nil, err
+	}
+	return dist, nil
+}
+
+func (s *Spec) compileSizes(c *checker, path string, d *SizeDist) workload.SizeDist {
+	if d == nil {
+		c.errf(path, "must be set")
+		return nil
+	}
+	var dist workload.SizeDist
+	switch d.Kind {
+	case "websearch":
+		dist = workload.WebSearch()
+	case "datamining":
+		dist = workload.DataMining()
+	case "uniform":
+		u := workload.Uniform{
+			MinSize: c.size(path+".min", d.Min),
+			MaxSize: c.size(path+".max", d.Max),
+		}
+		if u.MaxSize < u.MinSize || u.MaxSize <= 0 {
+			c.errf(path, "uniform needs 0 < min <= max, got [%v, %v]", d.Min, d.Max)
+		}
+		dist = u
+	case "fixed":
+		f := workload.Fixed{Size: c.size(path+".size", d.Size)}
+		if f.Size <= 0 {
+			c.errf(path+".size", "must be a positive size")
+		}
+		dist = f
+	case "":
+		c.errf(path+".kind", "must be set (valid: websearch, datamining, uniform, fixed)")
+		return nil
+	default:
+		c.errf(path+".kind", "unknown kind %q (valid: websearch, datamining, uniform, fixed)", d.Kind)
+		return nil
+	}
+	if d.Truncate != "" {
+		max := c.size(path+".truncate", d.Truncate)
+		if max <= 0 {
+			c.errf(path+".truncate", "must be a positive size")
+		}
+		dist = workload.Truncated{Dist: dist, Max: max}
+	}
+	return dist
+}
+
+func (s *Spec) compileDeadlines(c *checker, path string, d *Deadlines) workload.DeadlineDist {
+	if d == nil {
+		return workload.DeadlineDist{}
+	}
+	dd := workload.DeadlineDist{
+		Min:       c.dur(path+".min", d.Min),
+		Max:       c.dur(path+".max", d.Max),
+		OnlyBelow: c.size(path+".onlyBelow", d.OnlyBelow),
+	}
+	if dd.Max <= 0 || dd.Max < dd.Min || dd.Min < 0 {
+		c.errf(path, "need 0 <= min <= max with max > 0, got [%v, %v]", d.Min, d.Max)
+	}
+	return dd
+}
+
+func (s *Spec) compileWorkload(c *checker, topoKind string, lsCfg topology.Config, ftCfg topology.FatTreeConfig, materialize bool) []workload.Flow {
+	w := s.Workload
+	wseed := s.Seed + 1
+	if w.Seed != nil {
+		wseed = *w.Seed
+	}
+
+	// Reject fields that belong to another workload kind, so a typo'd
+	// spec fails loudly instead of silently ignoring half its content.
+	reject := func(kind string, used ...struct {
+		path string
+		set  bool
+	}) {
+		for _, u := range used {
+			if u.set {
+				c.errf(u.path, "only applies to workload kind %q", kind)
+			}
+		}
+	}
+	type field = struct {
+		path string
+		set  bool
+	}
+	poissonFields := []field{
+		{"workload.flows", w.Flows != 0},
+		//simlint:allow floateq(set-check on a decoded JSON field; the unset value is exactly 0)
+		{"workload.load", w.Load != 0},
+		{"workload.sizes", w.Sizes != nil},
+	}
+	mixFields := []field{
+		{"workload.groups", len(w.Groups) != 0},
+		{"workload.senders", len(w.Senders) != 0},
+		{"workload.receivers", len(w.Receivers) != 0},
+	}
+	interpodFields := []field{
+		{"workload.interPod", w.InterPod != nil},
+	}
+
+	switch w.Kind {
+	case "poisson":
+		reject("mix", mixFields...)
+		reject("interpod", interpodFields...)
+		return s.compilePoisson(c, topoKind, lsCfg, wseed, materialize)
+	case "mix":
+		reject("poisson", poissonFields...)
+		reject("interpod", interpodFields...)
+		return s.compileMix(c, topoKind, lsCfg, ftCfg, wseed, materialize)
+	case "interpod":
+		reject("poisson", poissonFields...)
+		reject("mix", mixFields...)
+		return s.compileInterPod(c, topoKind, ftCfg, wseed, materialize)
+	case "":
+		c.errf("workload.kind", "must be set (valid: poisson, mix, interpod)")
+	default:
+		c.errf("workload.kind", "unknown kind %q (valid: poisson, mix, interpod)", w.Kind)
+	}
+	return nil
+}
+
+func (s *Spec) compilePoisson(c *checker, topoKind string, lsCfg topology.Config, wseed uint64, materialize bool) []workload.Flow {
+	w := s.Workload
+	if topoKind != "leafspine" {
+		c.errf("workload.kind", "poisson traffic needs a leafspine topology (load is defined against the leaf-spine fabric capacity)")
+		return nil
+	}
+	if w.Flows <= 0 {
+		c.errf("workload.flows", "must be a positive flow count")
+	}
+	if w.Load <= 0 || w.Load > 1 {
+		c.errf("workload.load", "must be in (0,1], got %v", w.Load)
+	}
+	sizes := s.compileSizes(c, "workload.sizes", w.Sizes)
+	deadlines := s.compileDeadlinesOpt(c, "workload.deadlines", w.Deadlines)
+	if len(c.errs) > 0 || !materialize {
+		return nil
+	}
+	hostsPerLeaf := lsCfg.HostsPerLeaf
+	// Load is defined against the aggregate fabric capacity, exactly as
+	// the large-scale experiments define it.
+	fabricCapacity := float64(lsCfg.Leaves) * float64(lsCfg.Spines) * lsCfg.FabricLink.Bandwidth.BytesPerSecond()
+	pc := workload.PoissonConfig{
+		Hosts:         lsCfg.Hosts(),
+		Sizes:         sizes,
+		RateOverride:  w.Load * fabricCapacity / sizes.Mean(),
+		Deadlines:     deadlines,
+		CrossLeafOnly: true,
+		LeafOf:        func(h int) int { return h / hostsPerLeaf },
+	}
+	flows, err := pc.Generate(eventsim.NewRNG(wseed), w.Flows, 0)
+	if err != nil {
+		c.errf("workload", "%v", err)
+		return nil
+	}
+	return s.applyDeadlineOverride(c, flows)
+}
+
+func (s *Spec) compileDeadlinesOpt(c *checker, path string, d *Deadlines) workload.DeadlineDist {
+	if d == nil {
+		return workload.DeadlineDist{}
+	}
+	return s.compileDeadlines(c, path, d)
+}
+
+func (s *Spec) compileMix(c *checker, topoKind string, lsCfg topology.Config, ftCfg topology.FatTreeConfig, wseed uint64, materialize bool) []workload.Flow {
+	w := s.Workload
+	if len(w.Groups) == 0 {
+		c.errf("workload.groups", "mix needs at least one group")
+		return nil
+	}
+	hosts := 0
+	switch topoKind {
+	case "leafspine":
+		hosts = lsCfg.Hosts()
+	case "fattree":
+		hosts = ftCfg.Hosts()
+	}
+
+	senders, receivers := w.Senders, w.Receivers
+	if len(senders) == 0 && len(receivers) == 0 {
+		// Default: leaf 0's hosts send to leaf 1's hosts — the
+		// motivation/testbed pattern.
+		if topoKind == "leafspine" && lsCfg.Leaves >= 2 {
+			for h := 0; h < lsCfg.HostsPerLeaf; h++ {
+				senders = append(senders, h)
+				receivers = append(receivers, lsCfg.HostsPerLeaf+h)
+			}
+		} else {
+			c.errf("workload.senders", "must be set (the leaf0→leaf1 default needs a leafspine topology with >= 2 leaves)")
+		}
+	} else if len(senders) == 0 || len(receivers) == 0 {
+		c.errf("workload.senders", "senders and receivers must be set together")
+	}
+	for i, h := range senders {
+		if h < 0 || (hosts > 0 && h >= hosts) {
+			c.errf(fmt.Sprintf("workload.senders[%d]", i), "host %d out of range [0, %d)", h, hosts)
+		}
+	}
+	for i, h := range receivers {
+		if h < 0 || (hosts > 0 && h >= hosts) {
+			c.errf(fmt.Sprintf("workload.receivers[%d]", i), "host %d out of range [0, %d)", h, hosts)
+		}
+	}
+
+	mixes := make([]workload.StaticMix, 0, len(w.Groups))
+	for i, g := range w.Groups {
+		path := fmt.Sprintf("workload.groups[%d]", i)
+		if g.Shorts < 0 || g.Longs < 0 || g.Shorts+g.Longs == 0 {
+			c.errf(path, "needs a positive number of shorts and/or longs")
+		}
+		m := workload.StaticMix{
+			ShortFlows:    g.Shorts,
+			LongFlows:     g.Longs,
+			Senders:       senders,
+			Receivers:     receivers,
+			ArrivalJitter: c.dur(path+".arrivalJitter", g.ArrivalJitter),
+		}
+		if g.Shorts > 0 {
+			m.ShortSizes = s.compileSizes(c, path+".shortSizes", g.ShortSizes)
+		}
+		if g.Longs > 0 {
+			m.LongSizes = s.compileSizes(c, path+".longSizes", g.LongSizes)
+		}
+		if g.Deadlines != nil {
+			m.Deadlines = s.compileDeadlines(c, path+".deadlines", g.Deadlines)
+		} else {
+			m.Deadlines = s.compileDeadlinesOpt(c, "workload.deadlines", w.Deadlines)
+		}
+		mixes = append(mixes, m)
+	}
+	if len(c.errs) > 0 || !materialize {
+		return nil
+	}
+	// One RNG shared across all groups in order: group boundaries do
+	// not disturb the stream, so a single-group spec draws exactly the
+	// same flows as the pre-spec experiment code did.
+	rng := eventsim.NewRNG(wseed)
+	var flows []workload.Flow
+	for i, m := range mixes {
+		fs, err := m.Generate(rng, 0)
+		if err != nil {
+			c.errf(fmt.Sprintf("workload.groups[%d]", i), "%v", err)
+			return nil
+		}
+		flows = append(flows, fs...)
+	}
+	return s.applyDeadlineOverride(c, flows)
+}
+
+func (s *Spec) compileInterPod(c *checker, topoKind string, ftCfg topology.FatTreeConfig, wseed uint64, materialize bool) []workload.Flow {
+	w := s.Workload
+	if topoKind != "fattree" {
+		c.errf("workload.kind", "interpod traffic needs a fattree topology")
+		return nil
+	}
+	ip := w.InterPod
+	if ip == nil {
+		c.errf("workload.interPod", "must be set for kind %q", "interpod")
+		return nil
+	}
+	if ip.Flows <= 0 {
+		c.errf("workload.interPod.flows", "must be a positive flow count")
+	}
+	sizes := s.compileSizes(c, "workload.interPod.sizes", &ip.Sizes)
+	maxGap := c.dur("workload.interPod.maxGap", ip.MaxGap)
+	if maxGap <= 0 {
+		c.errf("workload.interPod.maxGap", "must be a positive duration")
+	}
+	dlBase := c.dur("workload.interPod.deadlineBase", ip.DeadlineBase)
+	dlJitter := c.dur("workload.interPod.deadlineJitter", ip.DeadlineJitter)
+	dlBelow := c.size("workload.interPod.deadlineOnlyBelow", ip.DeadlineOnlyBelow)
+	if dlJitter < 0 || dlBase < 0 {
+		c.errf("workload.interPod.deadlineBase", "deadline base and jitter must not be negative")
+	}
+	if len(c.errs) > 0 || !materialize {
+		return nil
+	}
+	rng := eventsim.NewRNG(wseed)
+	hosts := ftCfg.Hosts()
+	perPod := hosts / ftCfg.K
+	flows := make([]workload.Flow, 0, ip.Flows)
+	at := units.Time(0)
+	for i := 0; i < ip.Flows; i++ {
+		at += units.Time(rng.Intn(int(maxGap)))
+		src := rng.Intn(hosts)
+		dst := rng.Intn(hosts)
+		for dst/perPod == src/perPod {
+			dst = rng.Intn(hosts)
+		}
+		size := sizes.Sample(rng)
+		f := workload.Flow{Src: src, Dst: dst, Size: size, Start: at}
+		if dlJitter > 0 && (dlBelow == 0 || size <= dlBelow) {
+			f.Deadline = at + dlBase + units.Time(rng.Intn(int(dlJitter)))
+		}
+		flows = append(flows, f)
+	}
+	return s.applyDeadlineOverride(c, flows)
+}
+
+// applyDeadlineOverride rewrites deadlines after generation. It runs
+// after the workload RNG is fully consumed, so overriding deadlines
+// never perturbs arrival times or sizes.
+func (s *Spec) applyDeadlineOverride(c *checker, flows []workload.Flow) []workload.Flow {
+	o := s.Workload.DeadlineOverride
+	if o == nil {
+		return flows
+	}
+	d := c.dur("workload.deadlineOverride.deadline", o.Deadline)
+	below := c.size("workload.deadlineOverride.onlyBelow", o.OnlyBelow)
+	if d <= 0 {
+		c.errf("workload.deadlineOverride.deadline", "must be a positive duration")
+		return flows
+	}
+	for i := range flows {
+		if below == 0 || flows[i].Size <= below {
+			flows[i].Deadline = flows[i].Start + d
+		} else {
+			flows[i].Deadline = 0
+		}
+	}
+	return flows
+}
+
+var faultOps = []struct {
+	name string
+	op   faults.Op
+}{
+	{"down", faults.OpDown},
+	{"restore", faults.OpRestore},
+	{"derate", faults.OpDeRate},
+	{"delay", faults.OpDelay},
+}
+
+var faultDirs = []struct {
+	name string
+	dir  faults.Direction
+}{
+	{"both", faults.BothDirections},
+	{"leafToSpine", faults.LeafToSpine},
+	{"spineToLeaf", faults.SpineToLeaf},
+}
+
+// FaultOpName returns the spec string for an op.
+func FaultOpName(op faults.Op) string {
+	for _, e := range faultOps {
+		if e.op == op {
+			return e.name
+		}
+	}
+	return fmt.Sprintf("Op(%d)", int(op))
+}
+
+// FaultDirName returns the spec string for a direction ("" for the
+// both-directions default).
+func FaultDirName(d faults.Direction) string {
+	if d == faults.BothDirections {
+		return ""
+	}
+	for _, e := range faultDirs {
+		if e.dir == d {
+			return e.name
+		}
+	}
+	return fmt.Sprintf("Direction(%d)", int(d))
+}
+
+func (s *Spec) compileFaults(c *checker) faults.Schedule {
+	sched := make(faults.Schedule, 0, len(s.Faults))
+	for i, f := range s.Faults {
+		path := fmt.Sprintf("faults[%d]", i)
+		e := faults.Event{
+			At:    c.dur(path+".at", f.At),
+			Leaf:  f.Leaf,
+			Spine: f.Spine,
+		}
+		opOK := false
+		for _, o := range faultOps {
+			if o.name == f.Op {
+				e.Op, opOK = o.op, true
+				break
+			}
+		}
+		if !opOK {
+			c.errf(path+".op", "unknown op %q (valid: down, restore, derate, delay)", f.Op)
+		}
+		dirOK := f.Dir == ""
+		for _, d := range faultDirs {
+			if d.name == f.Dir {
+				e.Dir, dirOK = d.dir, true
+				break
+			}
+		}
+		if !dirOK {
+			c.errf(path+".dir", "unknown direction %q (valid: both, leafToSpine, spineToLeaf)", f.Dir)
+		}
+		if f.Bandwidth != "" {
+			e.Bandwidth = c.rate(path+".bandwidth", f.Bandwidth)
+		}
+		if f.Delay != "" {
+			e.Delay = c.dur(path+".delay", f.Delay)
+		}
+		sched = append(sched, e)
+	}
+	if err := sched.Validate(); err != nil {
+		c.errf("faults", "%v", err)
+	}
+	return sched
+}

@@ -1,0 +1,315 @@
+// Package spec is the declarative scenario layer: a versioned JSON
+// description of one simulation run — topology, transport, workload,
+// scheme + parameters, fault schedule, outputs — with a validating
+// compiler down to sim.Scenario. Every figure runner in
+// internal/experiments builds its scenarios through this layer, so
+// anything the experiments can run, a spec file can too (and vice
+// versa: cmd/tlbsim -spec runs any spec file with no Go changes).
+//
+// Physical quantities are exact unit strings ("150us", "100KB",
+// "64KiB", "20Mbps"; see units.Parse*/Format*), so a compiled spec
+// marshals back to the same scenario byte for byte. Validation
+// aggregates every problem with a JSON-path-style location
+// ("workload.load: must be in (0,1]") instead of stopping at the
+// first.
+package spec
+
+import (
+	"encoding/json"
+	"sort"
+
+	"tlb/internal/units"
+)
+
+// Version is the spec format version this build reads and writes.
+const Version = 1
+
+// Duration is an exact duration string ("150us", "30s").
+type Duration string
+
+// Size is an exact byte-size string ("100KB", "64KiB").
+type Size string
+
+// Rate is an exact bandwidth string ("1Gbps", "20Mbps").
+type Rate string
+
+// Dur renders a time as its spec string.
+func Dur(t units.Time) Duration { return Duration(units.FormatTime(t)) }
+
+// Sz renders a byte count as its spec string.
+func Sz(b units.Bytes) Size { return Size(units.FormatBytes(b)) }
+
+// Bw renders a bandwidth as its spec string.
+func Bw(b units.Bandwidth) Rate { return Rate(units.FormatBandwidth(b)) }
+
+// Spec is one complete scenario description.
+type Spec struct {
+	// Version is the format version (see Version).
+	Version int `json:"version"`
+	// Name labels the run in results and progress lines.
+	Name string `json:"name"`
+	// Seed drives all randomness; the same spec + seed reproduces
+	// every number exactly.
+	Seed uint64 `json:"seed"`
+
+	Scheme   Scheme   `json:"scheme"`
+	Topology Topology `json:"topology"`
+	// Transport overrides individual endpoint parameters; unset fields
+	// keep the paper's DCTCP defaults.
+	Transport *Transport `json:"transport,omitempty"`
+	Workload  Workload   `json:"workload"`
+	// Faults is the run's link-fault schedule (leaf-spine fabrics
+	// only).
+	Faults []Fault `json:"faults,omitempty"`
+	// Replication enables RepFlow-style short-flow replication on top
+	// of the scheme.
+	Replication *Replication `json:"replication,omitempty"`
+
+	Run     Run     `json:"run"`
+	Outputs Outputs `json:"outputs"`
+}
+
+// Scheme names the balancer and its parameters. Name must be a
+// registered scheme (lb.Names() enumerates them); Params must match
+// that scheme's schema.
+type Scheme struct {
+	Name string `json:"name"`
+	// Label, when set, is the display name results carry ("flow" for
+	// ecmp in the motivation figures); it defaults to Name.
+	Label  string `json:"label,omitempty"`
+	Params Params `json:"params,omitempty"`
+}
+
+// Params carries scheme parameters. Values are unit strings for
+// quantities and plain JSON numbers/bools/strings otherwise; it
+// marshals with sorted keys so specs serialize deterministically.
+type Params map[string]any
+
+// MarshalJSON writes the map in sorted-key order.
+func (p Params) MarshalJSON() ([]byte, error) {
+	keys := make([]string, 0, len(p))
+	//simlint:allow maporder(keys are collected here and sorted below before any use)
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf := []byte{'{'}
+	for i, k := range keys {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return nil, err
+		}
+		vb, err := json.Marshal(p[k])
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, kb...)
+		buf = append(buf, ':')
+		buf = append(buf, vb...)
+	}
+	return append(buf, '}'), nil
+}
+
+// Topology describes the fabric.
+type Topology struct {
+	// Kind is "leafspine" (default when empty) or "fattree".
+	Kind string `json:"kind,omitempty"`
+
+	// Leaf-spine dimensions.
+	Leaves       int `json:"leaves,omitempty"`
+	Spines       int `json:"spines,omitempty"`
+	HostsPerLeaf int `json:"hostsPerLeaf,omitempty"`
+
+	// K is the fat-tree arity (k pods, k^3/4 hosts).
+	K int `json:"k,omitempty"`
+
+	HostLink   Link  `json:"hostLink"`
+	FabricLink Link  `json:"fabricLink"`
+	Queue      Queue `json:"queue"`
+
+	// Overrides re-parameterize specific leaf-spine pairs (static
+	// asymmetry, as in the paper's Fig. 16/17).
+	Overrides []Override `json:"overrides,omitempty"`
+}
+
+// Link is one directed link's parameters.
+type Link struct {
+	Bandwidth Rate     `json:"bandwidth"`
+	Delay     Duration `json:"delay"`
+}
+
+// Queue parameterizes every output queue.
+type Queue struct {
+	// Capacity is the buffer size in packets.
+	Capacity int `json:"capacity"`
+	// ECNThreshold is the marking threshold in packets; 0 disables
+	// marking (drop-tail only).
+	ECNThreshold int `json:"ecnThreshold,omitempty"`
+}
+
+// Override re-parameterizes one leaf-spine pair in both directions.
+type Override struct {
+	Leaf  int  `json:"leaf"`
+	Spine int  `json:"spine"`
+	Link  Link `json:"link"`
+}
+
+// Transport overrides endpoint parameters; nil fields keep
+// transport.DefaultConfig.
+type Transport struct {
+	MSS               *Size     `json:"mss,omitempty"`
+	HeaderBytes       *Size     `json:"headerBytes,omitempty"`
+	InitCwnd          *int      `json:"initCwnd,omitempty"`
+	RcvWindow         *Size     `json:"rcvWindow,omitempty"`
+	MinRTO            *Duration `json:"minRTO,omitempty"`
+	MaxRTO            *Duration `json:"maxRTO,omitempty"`
+	InitialRTO        *Duration `json:"initialRTO,omitempty"`
+	DupAckThreshold   *int      `json:"dupAckThreshold,omitempty"`
+	DCTCP             *bool     `json:"dctcp,omitempty"`
+	DCTCPGain         *float64  `json:"dctcpGain,omitempty"`
+	Handshake         *bool     `json:"handshake,omitempty"`
+	DelayedAck        *bool     `json:"delayedAck,omitempty"`
+	DelayedAckTimeout *Duration `json:"delayedAckTimeout,omitempty"`
+	SACK              *bool     `json:"sack,omitempty"`
+}
+
+// Workload generates the run's flows. Exactly one kind is active;
+// the other kinds' fields must be unset.
+type Workload struct {
+	// Kind is "poisson", "mix" or "interpod".
+	Kind string `json:"kind"`
+	// Seed, when set, overrides the workload RNG seed; the default is
+	// the scenario seed + 1 (the repository-wide convention).
+	Seed *uint64 `json:"seed,omitempty"`
+
+	// Poisson (open-loop arrivals at a fabric load; leaf-spine only):
+	// Flows arrive Poisson between random cross-leaf host pairs, sized
+	// from Sizes, at rate load * aggregate-fabric-capacity / mean size.
+	Flows int       `json:"flows,omitempty"`
+	Load  float64   `json:"load,omitempty"`
+	Sizes *SizeDist `json:"sizes,omitempty"`
+
+	// Mix (closed populations of shorts and longs): each group is one
+	// StaticMix drawn from the shared workload RNG in order. Senders
+	// and Receivers default to leaf 0's hosts and leaf 1's hosts.
+	Groups    []MixGroup `json:"groups,omitempty"`
+	Senders   []int      `json:"senders,omitempty"`
+	Receivers []int      `json:"receivers,omitempty"`
+
+	// InterPod (fat-tree cross-pod traffic).
+	InterPod *InterPod `json:"interPod,omitempty"`
+
+	// Deadlines assigns completion budgets during generation (poisson
+	// and mix groups without their own).
+	Deadlines *Deadlines `json:"deadlines,omitempty"`
+
+	// DeadlineOverride rewrites every generated flow's deadline after
+	// generation — the model-verification experiments pin all shorts
+	// to one budget D this way.
+	DeadlineOverride *DeadlineOverride `json:"deadlineOverride,omitempty"`
+}
+
+// MixGroup is one StaticMix population.
+type MixGroup struct {
+	Shorts     int       `json:"shorts,omitempty"`
+	Longs      int       `json:"longs,omitempty"`
+	ShortSizes *SizeDist `json:"shortSizes,omitempty"`
+	LongSizes  *SizeDist `json:"longSizes,omitempty"`
+	// ArrivalJitter spreads starts uniformly over [0, jitter].
+	ArrivalJitter Duration `json:"arrivalJitter,omitempty"`
+	// Deadlines, when set, overrides Workload.Deadlines for this group.
+	Deadlines *Deadlines `json:"deadlines,omitempty"`
+}
+
+// InterPod is the fat-tree workload: flows between hosts in different
+// pods, arriving with uniform random gaps.
+type InterPod struct {
+	Flows int      `json:"flows"`
+	Sizes SizeDist `json:"sizes"`
+	// MaxGap bounds the uniform inter-arrival gap.
+	MaxGap Duration `json:"maxGap"`
+	// Deadline = start + base + U[0, jitter), for flows at or below
+	// OnlyBelow; jitter 0 disables deadlines.
+	DeadlineBase      Duration `json:"deadlineBase,omitempty"`
+	DeadlineJitter    Duration `json:"deadlineJitter,omitempty"`
+	DeadlineOnlyBelow Size     `json:"deadlineOnlyBelow,omitempty"`
+}
+
+// SizeDist is a flow-size distribution.
+type SizeDist struct {
+	// Kind is "websearch", "datamining", "uniform" or "fixed".
+	Kind string `json:"kind"`
+	// Min/Max bound the uniform distribution.
+	Min Size `json:"min,omitempty"`
+	Max Size `json:"max,omitempty"`
+	// Size is the fixed distribution's value.
+	Size Size `json:"size,omitempty"`
+	// Truncate caps samples of any kind (the experiments truncate the
+	// heavy tails to bound run time).
+	Truncate Size `json:"truncate,omitempty"`
+}
+
+// Deadlines assigns uniform completion budgets.
+type Deadlines struct {
+	Min Duration `json:"min"`
+	Max Duration `json:"max"`
+	// OnlyBelow restricts deadlines to flows at or below this size;
+	// empty applies them to every flow.
+	OnlyBelow Size `json:"onlyBelow,omitempty"`
+}
+
+// DeadlineOverride rewrites deadlines after generation: flows at or
+// below OnlyBelow (everything when empty) get start + Deadline, all
+// others get none.
+type DeadlineOverride struct {
+	Deadline  Duration `json:"deadline"`
+	OnlyBelow Size     `json:"onlyBelow,omitempty"`
+}
+
+// Fault is one scheduled link fault (see internal/faults).
+type Fault struct {
+	At    Duration `json:"at"`
+	Leaf  int      `json:"leaf"`
+	Spine int      `json:"spine"`
+	// Op is "down", "restore", "derate" or "delay".
+	Op string `json:"op"`
+	// Dir is "both" (default when empty), "leafToSpine" or
+	// "spineToLeaf".
+	Dir string `json:"dir,omitempty"`
+	// Bandwidth is the derate target.
+	Bandwidth Rate `json:"bandwidth,omitempty"`
+	// Delay is the new one-way propagation delay.
+	Delay Duration `json:"delay,omitempty"`
+}
+
+// Replication parameterizes RepFlow-style replication.
+type Replication struct {
+	Threshold Size `json:"threshold"`
+	Copies    int  `json:"copies"`
+}
+
+// Run sets the stop criteria and result classification.
+type Run struct {
+	// MaxTime hard-stops the run (the runner defaults to 60s when
+	// empty).
+	MaxTime Duration `json:"maxTime,omitempty"`
+	// StopWhenDone ends the run once every flow completed.
+	StopWhenDone bool `json:"stopWhenDone,omitempty"`
+	// ShortThreshold classifies flows for result aggregation (default
+	// 100KB).
+	ShortThreshold Size `json:"shortThreshold,omitempty"`
+}
+
+// Outputs selects optional measurement collection.
+type Outputs struct {
+	// SampleShortPackets retains one sample per short-flow data packet
+	// (memory-heavy; the Fig. 3 CDFs).
+	SampleShortPackets bool `json:"sampleShortPackets,omitempty"`
+	// CollectTimeSeries enables the bucketed instantaneous series.
+	CollectTimeSeries bool `json:"collectTimeSeries,omitempty"`
+	// TimeBucket is the series bucket width (default 1ms).
+	TimeBucket Duration `json:"timeBucket,omitempty"`
+}

@@ -1,0 +1,326 @@
+package spec
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	_ "tlb/internal/core" // register the tlb scheme
+	"tlb/internal/eventsim"
+	"tlb/internal/faults"
+	"tlb/internal/units"
+	"tlb/internal/workload"
+)
+
+// testTopology is a small leaf-spine fabric shared by the tests.
+func testTopology() Topology {
+	return Topology{
+		Leaves:       2,
+		Spines:       4,
+		HostsPerLeaf: 4,
+		HostLink:     Link{Bandwidth: "1Gbps", Delay: "5us"},
+		FabricLink:   Link{Bandwidth: "1Gbps", Delay: "10us"},
+		Queue:        Queue{Capacity: 256, ECNThreshold: 65},
+	}
+}
+
+func testSpec() *Spec {
+	return &Spec{
+		Version:  Version,
+		Name:     "test",
+		Seed:     42,
+		Scheme:   Scheme{Name: "ecmp"},
+		Topology: testTopology(),
+		Workload: Workload{
+			Kind: "mix",
+			Groups: []MixGroup{{
+				Shorts:        10,
+				Longs:         2,
+				ShortSizes:    &SizeDist{Kind: "uniform", Min: "40KB", Max: "100KB"},
+				LongSizes:     &SizeDist{Kind: "fixed", Size: "10MB"},
+				ArrivalJitter: "5ms",
+			}},
+			Deadlines: &Deadlines{Min: "5ms", Max: "25ms", OnlyBelow: "100KB"},
+		},
+		Run: Run{MaxTime: "30s", StopWhenDone: true},
+	}
+}
+
+func TestCompileMixMatchesStaticMix(t *testing.T) {
+	sc, err := testSpec().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same mix drawn directly, with the repo's seed+1 convention.
+	want, err := workload.StaticMix{
+		ShortFlows:    10,
+		LongFlows:     2,
+		ShortSizes:    workload.Uniform{MinSize: 40 * units.KB, MaxSize: 100 * units.KB},
+		LongSizes:     workload.Fixed{Size: 10 * units.MB},
+		Senders:       []int{0, 1, 2, 3},
+		Receivers:     []int{4, 5, 6, 7},
+		ArrivalJitter: 5 * units.Millisecond,
+		Deadlines: workload.DeadlineDist{
+			Min: 5 * units.Millisecond, Max: 25 * units.Millisecond,
+			OnlyBelow: 100 * units.KB,
+		},
+	}.Generate(eventsim.NewRNG(43), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sc.Flows, want) {
+		t.Fatalf("spec mix diverges from direct StaticMix generation:\n got %v\nwant %v",
+			sc.Flows[:3], want[:3])
+	}
+	if sc.SchemeName != "ecmp" || sc.Name != "test" {
+		t.Errorf("names: scheme %q scenario %q", sc.SchemeName, sc.Name)
+	}
+	if sc.MaxTime != 30*units.Second || !sc.StopWhenDone {
+		t.Errorf("run block not applied: MaxTime %v StopWhenDone %v", sc.MaxTime, sc.StopWhenDone)
+	}
+}
+
+func TestCompilePoissonMatchesPoissonConfig(t *testing.T) {
+	s := testSpec()
+	s.Workload = Workload{
+		Kind:      "poisson",
+		Flows:     50,
+		Load:      0.5,
+		Sizes:     &SizeDist{Kind: "websearch", Truncate: "20MB"},
+		Deadlines: &Deadlines{Min: "5ms", Max: "25ms", OnlyBelow: "100KB"},
+	}
+	sc, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := workload.Truncated{Dist: workload.WebSearch(), Max: 20 * units.MB}
+	fabricCapacity := float64(2) * float64(4) * units.Gbps.BytesPerSecond()
+	want, err := workload.PoissonConfig{
+		Hosts:        8,
+		Sizes:        sizes,
+		RateOverride: 0.5 * fabricCapacity / sizes.Mean(),
+		Deadlines: workload.DeadlineDist{
+			Min: 5 * units.Millisecond, Max: 25 * units.Millisecond,
+			OnlyBelow: 100 * units.KB,
+		},
+		CrossLeafOnly: true,
+		LeafOf:        func(h int) int { return h / 4 },
+	}.Generate(eventsim.NewRNG(43), 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sc.Flows, want) {
+		t.Fatal("spec poisson diverges from direct PoissonConfig generation")
+	}
+}
+
+func TestCompileInterPodMatchesLoop(t *testing.T) {
+	s := testSpec()
+	s.Topology = Topology{
+		Kind:       "fattree",
+		K:          4,
+		HostLink:   Link{Bandwidth: "1Gbps", Delay: "5us"},
+		FabricLink: Link{Bandwidth: "1Gbps", Delay: "10us"},
+		Queue:      Queue{Capacity: 256, ECNThreshold: 65},
+	}
+	s.Workload = Workload{
+		Kind: "interpod",
+		InterPod: &InterPod{
+			Flows:             40,
+			Sizes:             SizeDist{Kind: "websearch", Truncate: "20MB"},
+			MaxGap:            "200us",
+			DeadlineBase:      "5ms",
+			DeadlineJitter:    "20ms",
+			DeadlineOnlyBelow: "100KB",
+		},
+	}
+	sc, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.BuildNetwork == nil {
+		t.Fatal("fattree spec compiled without a BuildNetwork")
+	}
+	// The exact fat-tree flow loop from the experiments.
+	rng := eventsim.NewRNG(43)
+	sizes := workload.Truncated{Dist: workload.WebSearch(), Max: 20 * units.MB}
+	hosts, perPod := 16, 4
+	var want []workload.Flow
+	at := units.Time(0)
+	for i := 0; i < 40; i++ {
+		at += units.Time(rng.Intn(int(200 * units.Microsecond)))
+		src := rng.Intn(hosts)
+		dst := rng.Intn(hosts)
+		for dst/perPod == src/perPod {
+			dst = rng.Intn(hosts)
+		}
+		size := sizes.Sample(rng)
+		f := workload.Flow{Src: src, Dst: dst, Size: size, Start: at}
+		if size <= 100*units.KB {
+			f.Deadline = at + 5*units.Millisecond + units.Time(rng.Intn(int(20*units.Millisecond)))
+		}
+		want = append(want, f)
+	}
+	if !reflect.DeepEqual(sc.Flows, want) {
+		t.Fatal("spec interpod diverges from the experiments' fat-tree loop")
+	}
+}
+
+func TestValidateAggregatesErrors(t *testing.T) {
+	s := testSpec()
+	s.Version = 99
+	s.Scheme = Scheme{Name: "letflow", Params: Params{"gap": "10lightyears", "nope": 1}}
+	s.Workload.Kind = "poisson"
+	s.Workload.Load = 1.5
+	s.Workload.Sizes = &SizeDist{Kind: "uniform", Min: "100KB", Max: "40KB"}
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"version",
+		"scheme.params.gap",
+		"scheme.params.nope",
+		"workload.load: must be in (0,1], got 1.5",
+		"workload.sizes",
+		"workload.groups", // mix fields rejected under kind poisson
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("aggregate error missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+func TestValidateUnknownScheme(t *testing.T) {
+	s := testSpec()
+	s.Scheme = Scheme{Name: "bogus"}
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if !strings.Contains(err.Error(), "tlb") || !strings.Contains(err.Error(), "ecmp") {
+		t.Errorf("unknown-scheme error should list registered schemes: %v", err)
+	}
+}
+
+func TestCompileFaults(t *testing.T) {
+	s := testSpec()
+	s.Faults = []Fault{
+		{At: "2500ms", Leaf: 0, Spine: 2, Op: "down"},
+		{At: "3s", Leaf: 0, Spine: 2, Op: "derate", Bandwidth: "5Mbps", Dir: "leafToSpine"},
+		{At: "4s", Leaf: 0, Spine: 2, Op: "delay", Delay: "1ms", Dir: "spineToLeaf"},
+		{At: "5500ms", Leaf: 0, Spine: 2, Op: "restore"},
+	}
+	sc, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := faults.Schedule{
+		{At: 2500 * units.Millisecond, Spine: 2, Op: faults.OpDown},
+		{At: 3 * units.Second, Spine: 2, Op: faults.OpDeRate, Bandwidth: 5 * units.Mbps, Dir: faults.LeafToSpine},
+		{At: 4 * units.Second, Spine: 2, Op: faults.OpDelay, Delay: units.Millisecond, Dir: faults.SpineToLeaf},
+		{At: 5500 * units.Millisecond, Spine: 2, Op: faults.OpRestore},
+	}
+	if !reflect.DeepEqual(sc.Faults, want) {
+		t.Fatalf("faults compiled to %+v, want %+v", sc.Faults, want)
+	}
+}
+
+func TestFaultsRejectedOnFatTree(t *testing.T) {
+	s := testSpec()
+	s.Topology = Topology{
+		Kind:       "fattree",
+		K:          4,
+		HostLink:   Link{Bandwidth: "1Gbps", Delay: "5us"},
+		FabricLink: Link{Bandwidth: "1Gbps", Delay: "10us"},
+		Queue:      Queue{Capacity: 256},
+	}
+	s.Workload = Workload{
+		Kind:     "interpod",
+		InterPod: &InterPod{Flows: 10, Sizes: SizeDist{Kind: "fixed", Size: "1MB"}, MaxGap: "100us"},
+	}
+	s.Faults = []Fault{{At: "1s", Op: "down"}}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "faults") {
+		t.Fatalf("fattree+faults should be rejected, got %v", err)
+	}
+}
+
+func TestMarshalLoadRoundTrip(t *testing.T) {
+	s := testSpec()
+	s.Scheme = Scheme{
+		Name:   "tlb",
+		Params: Params{"interval": "500us", "deadline": "10ms", "meanShortSize": "70KB"},
+	}
+	tr := Duration("50ms")
+	s.Transport = &Transport{MinRTO: &tr, InitialRTO: &tr}
+	data, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatalf("round trip changed the spec:\n%s", data)
+	}
+	// And marshalling again is byte-identical (sorted params).
+	data2, err := back.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatal("second marshal differs from the first")
+	}
+	sc1, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc2, err := back.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sc1.Flows, sc2.Flows) {
+		t.Fatal("round-tripped spec compiles to different flows")
+	}
+	if sc1.Transport != sc2.Transport {
+		t.Fatal("round-tripped spec compiles to different transport")
+	}
+	if sc1.Transport.MinRTO != 50*units.Millisecond {
+		t.Fatalf("transport override lost: MinRTO %v", sc1.Transport.MinRTO)
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	_, err := LoadBytes([]byte(`{"version": 1, "nmae": "typo"}`))
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestWorkloadSeedOverride(t *testing.T) {
+	s := testSpec()
+	base, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := uint64(43) // the default derived seed, set explicitly
+	s.Workload.Seed = &seed
+	same, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base.Flows, same.Flows) {
+		t.Fatal("explicit workload seed 43 should match the default seed+1")
+	}
+	other := uint64(7)
+	s.Workload.Seed = &other
+	diff, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(base.Flows, diff.Flows) {
+		t.Fatal("different workload seed should change the flows")
+	}
+}

@@ -1,0 +1,101 @@
+package units
+
+import "testing"
+
+func TestParseTime(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Time
+	}{
+		{"150us", 150 * Microsecond},
+		{"150µs", 150 * Microsecond},
+		{"2.5ms", 2500 * Microsecond},
+		{"3s", 3 * Second},
+		{"250ns", 250 * Nanosecond},
+		{"0s", 0},
+		{"42", 42 * Nanosecond},
+		{"-4ms", -4 * Millisecond},
+		{" 10ms ", 10 * Millisecond},
+	}
+	for _, c := range cases {
+		got, err := ParseTime(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseTime(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"", "ms", "10lightyears", "1.2.3s"} {
+		if _, err := ParseTime(bad); err == nil {
+			t.Errorf("ParseTime(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Bytes
+	}{
+		{"100KB", 100 * KB},
+		{"64KiB", 64 * KiB},
+		{"1460B", 1460},
+		{"10MB", 10 * MB},
+		{"2MiB", 2 * MiB},
+		{"1460", 1460},
+		{"1.5KB", 1500},
+	}
+	for _, c := range cases {
+		got, err := ParseBytes(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseBytes(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+}
+
+func TestParseBandwidth(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Bandwidth
+	}{
+		{"1Gbps", Gbps},
+		{"20Mbps", 20 * Mbps},
+		{"2.5Gbps", 2500 * Mbps},
+		{"9600bps", 9600},
+	}
+	for _, c := range cases {
+		got, err := ParseBandwidth(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseBandwidth(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+}
+
+// The spec layer depends on Format*/Parse* being lossless inverses for
+// every value the experiments emit; exercise representative values of
+// each branch.
+func TestFormatRoundTrip(t *testing.T) {
+	times := []Time{0, 1, 999, Microsecond, 150 * Microsecond, 2500 * Microsecond,
+		Millisecond, 15 * Millisecond, Second, 120 * Second, 2500*Millisecond + 1, -4 * Millisecond}
+	for _, v := range times {
+		s := FormatTime(v)
+		got, err := ParseTime(s)
+		if err != nil || got != v {
+			t.Errorf("ParseTime(FormatTime(%d)=%q) = %v, %v", int64(v), s, got, err)
+		}
+	}
+	sizes := []Bytes{0, 1, 40, 1460, 100 * KB, 64 * KiB, 10 * MB, 55 * KB, 30*KB + 1, -100 * KB}
+	for _, v := range sizes {
+		s := FormatBytes(v)
+		got, err := ParseBytes(s)
+		if err != nil || got != v {
+			t.Errorf("ParseBytes(FormatBytes(%d)=%q) = %v, %v", int64(v), s, got, err)
+		}
+	}
+	bws := []Bandwidth{0, Gbps, 20 * Mbps, 5 * Mbps, 2500 * Mbps, 9600, Kbps, Gbps + 1}
+	for _, v := range bws {
+		s := FormatBandwidth(v)
+		got, err := ParseBandwidth(s)
+		if err != nil || got != v {
+			t.Errorf("ParseBandwidth(FormatBandwidth(%d)=%q) = %v, %v", int64(v), s, got, err)
+		}
+	}
+}
