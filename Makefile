@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench bench-all alloc-gates specs examples ci
+.PHONY: build test vet lint race bench bench-all alloc-gates specs examples largescale-smoke ci
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,8 @@ bench:
 	( $(GO) test -bench 'BenchmarkEventQueue|BenchmarkPortTransit' -benchtime 2s -run '^$$' . \
 	  && $(GO) test -bench 'BenchmarkFig8ShortFlows|BenchmarkFig10WebSearch|BenchmarkFig13VaryShort' -benchtime 1x -timeout 30m -run '^$$' . ) \
 	| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_4.json -section after
+	$(GO) test -bench 'BenchmarkLargeScaleStream' -benchtime 1x -run '^$$' . \
+	| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_6.json -section after -require 'flows/sec,peakRSS-MB'
 
 # bench-all runs every benchmark once, without touching BENCH_4.json —
 # a quick "do they all still run" check.
@@ -49,7 +51,7 @@ alloc-gates:
 # and registry (the quickstart example and the golden experiment
 # specs), then runs the quickstart spec end to end.
 specs:
-	$(GO) run ./cmd/tlbsim -check-spec -spec 'examples/quickstart/spec.json,internal/experiments/testdata/specs/*.json'
+	$(GO) run ./cmd/tlbsim -check-spec -spec 'examples/*/spec.json,internal/experiments/testdata/specs/*.json'
 	$(GO) run ./cmd/tlbsim -spec examples/quickstart/spec.json >/dev/null
 
 # examples compiles and runs every examples/ program as smoke; each
@@ -66,7 +68,15 @@ examples:
 smoke:
 	$(GO) run ./cmd/experiments -fig figF1 -flows 60 -workers 2 -q >/dev/null
 
+# largescale-smoke runs the streamed k=16 fat-tree scenario (figLS) at
+# a reduced flow count (2 x 1250 = 2500 flows): the lazy workload
+# source, StreamStats fold and streamed Result accessors all have to
+# work end to end for it to exit 0. The full-scale (1M flow) numbers
+# live in EXPERIMENTS.md "Large scale".
+largescale-smoke:
+	$(GO) run ./cmd/experiments -fig figLS -flows 2 -q >/dev/null
+
 # ci is the gate: static checks (vet + simlint), the full test suite,
 # the zero-allocation gates, the race detector over all packages, and
-# the end-to-end smoke run.
-ci: build vet lint test alloc-gates race specs examples smoke
+# the end-to-end smoke runs.
+ci: build vet lint test alloc-gates race specs examples smoke largescale-smoke

@@ -367,3 +367,29 @@ func BenchmarkFatTreeComparison(b *testing.B) {
 func BenchmarkExtendedBaselines(b *testing.B) {
 	runFig(b, experiments.ExtendedBaselines)
 }
+
+// BenchmarkLargeScaleStream runs the streamed k=16 fat-tree scenario
+// (figLS) at 10k flows — the tracked BENCH_6.json baseline for the
+// streaming-stats scale path. Reported metrics: wall-clock flow
+// throughput and the process's peak RSS (which must stay flow-count
+// independent; EXPERIMENTS.md "Large scale" records the full-scale
+// measurements).
+func BenchmarkLargeScaleStream(b *testing.B) {
+	figs := runFig(b, func(o experiments.Options) ([]experiments.Figure, error) {
+		o.FlowsPerRun = 8 // x1250 = 10k flows
+		return experiments.FigLS(o)
+	})
+	for _, f := range figs {
+		if f.ID != "figLS" {
+			continue
+		}
+		for _, bar := range f.Bars {
+			switch bar.Label {
+			case "ecmp flows/sec (wall)":
+				b.ReportMetric(bar.Value, "flows/sec")
+			case "ecmp peak RSS (MB)":
+				b.ReportMetric(bar.Value, "peakRSS-MB")
+			}
+		}
+	}
+}

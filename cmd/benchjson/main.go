@@ -27,8 +27,8 @@ type Benchmark struct {
 	// Name is the benchmark name with any -GOMAXPROCS suffix stripped
 	// (BenchmarkPortTransit-8 -> BenchmarkPortTransit) so before/after
 	// sections compare by stable keys.
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
 	// Metrics maps unit -> value, e.g. "ns/op", "B/op", "allocs/op",
 	// "events/sec". encoding/json emits map keys sorted, so the file is
 	// deterministic.
@@ -48,6 +48,7 @@ type Section struct {
 func main() {
 	out := flag.String("out", "BENCH_4.json", "output JSON file (merged if it exists)")
 	section := flag.String("section", "after", `section to write: "before" or "after"`)
+	require := flag.String("require", "", "comma-separated metric units that must appear in the parsed section (e.g. \"flows/sec,peakRSS-MB\"); missing ones fail the run")
 	flag.Parse()
 	if *section != "before" && *section != "after" {
 		fmt.Fprintf(os.Stderr, "benchjson: -section must be \"before\" or \"after\", got %q\n", *section)
@@ -61,6 +62,11 @@ func main() {
 	}
 	if len(sec.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+	if missing := missingMetrics(sec, *require); len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: required metrics missing from input: %s\n",
+			strings.Join(missing, ", "))
 		os.Exit(1)
 	}
 
@@ -84,6 +90,31 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s section %q\n",
 		len(sec.Benchmarks), *out, *section)
+}
+
+// missingMetrics checks the -require list: every named metric unit
+// must appear in at least one parsed benchmark, so a baseline-writing
+// pipeline fails loudly when a benchmark stops reporting the numbers
+// the baseline exists to track.
+func missingMetrics(sec *Section, require string) []string {
+	var missing []string
+	for _, want := range strings.Split(require, ",") {
+		want = strings.TrimSpace(want)
+		if want == "" {
+			continue
+		}
+		found := false
+		for _, b := range sec.Benchmarks {
+			if _, ok := b.Metrics[want]; ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, want)
+		}
+	}
+	return missing
 }
 
 func parse(sc *bufio.Scanner) (*Section, error) {

@@ -47,6 +47,7 @@ func Registry() []Entry {
 		{"fattree", "beyond the paper", "headline schemes on a k=4 fat-tree (two chained decisions)", FatTreeComparison},
 		{"figF1", "beyond the paper", "fault tolerance: two uplinks fail mid-run and recover 3 s later", FigF1},
 		{"figF2", "beyond the paper", "fault tolerance: flap-frequency sweep on one uplink", FigF2},
+		{"figLS", "beyond the paper", "streaming scale: 1M flows on a k=16 fat-tree in O(1) memory per flow", FigLS},
 	}
 }
 

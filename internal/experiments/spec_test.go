@@ -17,16 +17,20 @@ import (
 func goldenOpts() Options { return Options{Seed: 42, FlowsPerRun: 150} }
 
 // goldenSources enumerates the spec batches covered by the golden
-// files: the basic-environment comparison (fig8/9) and the faulted
-// testbed batch (figF1) — between them they exercise schemes with
-// parameters, mix groups, deadlines, outputs and fault schedules.
+// files: the basic-environment comparison (fig8/9), the faulted
+// testbed batch (figF1) and the streamed scale run (figLS) — between
+// them they exercise schemes with parameters, mix groups, deadlines,
+// outputs (including streamStats), interpod workloads and fault
+// schedules.
 func goldenSources() map[string][]spec.Spec {
 	o := goldenOpts()
 	_, fig89 := fig89Specs(o)
 	_, figF1 := figF1Specs(o)
+	_, figLS := figLSSpecs(o)
 	return map[string][]spec.Spec{
 		"fig8-9": fig89,
 		"figF1":  figF1,
+		"figLS":  figLS,
 	}
 }
 

@@ -38,6 +38,9 @@ func (r *Result) Each(c Class, fn func(*transport.FlowStats)) {
 
 // Count returns the number of flows in the class.
 func (r *Result) Count(c Class) int {
+	if r.Stream != nil {
+		return int(r.Stream.Agg(c).Count)
+	}
 	n := 0
 	r.Each(c, func(*transport.FlowStats) { n++ })
 	return n
@@ -45,6 +48,9 @@ func (r *Result) Count(c Class) int {
 
 // CompletedCount returns how many flows in the class finished.
 func (r *Result) CompletedCount(c Class) int {
+	if r.Stream != nil {
+		return int(r.Stream.Agg(c).Completed)
+	}
 	n := 0
 	r.Each(c, func(fs *transport.FlowStats) {
 		if fs.Done {
@@ -55,9 +61,14 @@ func (r *Result) CompletedCount(c Class) int {
 }
 
 // FCTSample collects the completion times (seconds) of finished flows
-// in the class.
+// in the class. Under StreamStats no raw observations exist, so the
+// returned sample is empty — use AFCT/FCTPercentile, which answer from
+// the streaming aggregates.
 func (r *Result) FCTSample(c Class) *stats.Sample {
 	s := &stats.Sample{}
+	if r.Stream != nil {
+		return s
+	}
 	r.Each(c, func(fs *transport.FlowStats) {
 		if fs.Done {
 			s.Add(fs.FCT().Seconds())
@@ -68,12 +79,24 @@ func (r *Result) FCTSample(c Class) *stats.Sample {
 
 // AFCT returns the mean completion time of finished flows in the class.
 func (r *Result) AFCT(c Class) units.Time {
+	if r.Stream != nil {
+		return units.FromSeconds(r.Stream.Agg(c).FCT.Mean())
+	}
 	s := r.FCTSample(c)
 	return units.FromSeconds(s.Mean())
 }
 
-// FCTPercentile returns the p-th percentile FCT of finished flows.
+// FCTPercentile returns the p-th percentile FCT of finished flows —
+// exact from retained records, or within the quantile sketch's
+// relative-error bound (stats.DefaultSketchAlpha) under StreamStats.
 func (r *Result) FCTPercentile(c Class, p float64) units.Time {
+	if r.Stream != nil {
+		sk := r.Stream.Agg(c).Sketch
+		if sk == nil {
+			return 0
+		}
+		return units.FromSeconds(sk.Percentile(p))
+	}
 	return units.FromSeconds(r.FCTSample(c).Percentile(p))
 }
 
@@ -81,6 +104,9 @@ func (r *Result) FCTPercentile(c Class, p float64) units.Time {
 // the class that missed (finished late or unfinished past the
 // deadline at run end).
 func (r *Result) DeadlineMissRatio(c Class) float64 {
+	if r.Stream != nil {
+		return r.Stream.Agg(c).MissRatio()
+	}
 	total, missed := 0, 0
 	r.Each(c, func(fs *transport.FlowStats) {
 		if fs.Deadline == 0 {
@@ -101,6 +127,9 @@ func (r *Result) DeadlineMissRatio(c Class) float64 {
 // bytes divided by each flow's active time, averaged per flow. This is
 // the "throughput of long flows" metric of Fig. 10d/11d.
 func (r *Result) Goodput(c Class) units.Bandwidth {
+	if r.Stream != nil {
+		return units.Bandwidth(r.Stream.Agg(c).MeanGoodput())
+	}
 	var sum float64
 	n := 0
 	r.Each(c, func(fs *transport.FlowStats) {
@@ -125,7 +154,11 @@ func (r *Result) Goodput(c Class) units.Bandwidth {
 // the whole run duration, as a single rate.
 func (r *Result) AggregateGoodput(c Class) units.Bandwidth {
 	var bytes units.Bytes
-	r.Each(c, func(fs *transport.FlowStats) { bytes += fs.BytesAcked })
+	if r.Stream != nil {
+		bytes = units.Bytes(r.Stream.Agg(c).BytesAcked)
+	} else {
+		r.Each(c, func(fs *transport.FlowStats) { bytes += fs.BytesAcked })
+	}
 	dur := r.EndTime.Seconds()
 	if dur <= 0 {
 		return 0
@@ -148,6 +181,9 @@ func (r *Result) UplinkUtilization() float64 {
 
 // TotalRetransmits sums retransmissions in the class.
 func (r *Result) TotalRetransmits(c Class) int64 {
+	if r.Stream != nil {
+		return r.Stream.Agg(c).Retransmits
+	}
 	var n int64
 	r.Each(c, func(fs *transport.FlowStats) { n += fs.Retransmits })
 	return n
@@ -155,6 +191,9 @@ func (r *Result) TotalRetransmits(c Class) int64 {
 
 // TotalTimeouts sums RTO events in the class.
 func (r *Result) TotalTimeouts(c Class) int64 {
+	if r.Stream != nil {
+		return r.Stream.Agg(c).Timeouts
+	}
 	var n int64
 	r.Each(c, func(fs *transport.FlowStats) { n += fs.Timeouts })
 	return n
@@ -164,10 +203,15 @@ func (r *Result) TotalTimeouts(c Class) int64 {
 // for the class — Fig. 4b's reordering metric.
 func (r *Result) OutOfOrderRatio(c Class) float64 {
 	var ooo, recv int64
-	r.Each(c, func(fs *transport.FlowStats) {
-		ooo += fs.OutOfOrder
-		recv += fs.PacketsRecv
-	})
+	if r.Stream != nil {
+		a := r.Stream.Agg(c)
+		ooo, recv = a.OutOfOrder, a.PacketsRecv
+	} else {
+		r.Each(c, func(fs *transport.FlowStats) {
+			ooo += fs.OutOfOrder
+			recv += fs.PacketsRecv
+		})
+	}
 	if recv == 0 {
 		return 0
 	}
@@ -178,10 +222,15 @@ func (r *Result) OutOfOrderRatio(c Class) float64 {
 // the class — Fig. 3b's metric.
 func (r *Result) DupAckRatio(c Class) float64 {
 	var dup, recv int64
-	r.Each(c, func(fs *transport.FlowStats) {
-		dup += fs.DupAcksSent
-		recv += fs.PacketsRecv
-	})
+	if r.Stream != nil {
+		a := r.Stream.Agg(c)
+		dup, recv = a.DupAcksSent, a.PacketsRecv
+	} else {
+		r.Each(c, func(fs *transport.FlowStats) {
+			dup += fs.DupAcksSent
+			recv += fs.PacketsRecv
+		})
+	}
 	if recv == 0 {
 		return 0
 	}
@@ -193,10 +242,15 @@ func (r *Result) DupAckRatio(c Class) float64 {
 func (r *Result) MeanQueueDelay(c Class) units.Time {
 	var sum units.Time
 	var n int64
-	r.Each(c, func(fs *transport.FlowStats) {
-		sum += fs.SumQueueDelay
-		n += fs.DelaySamples
-	})
+	if r.Stream != nil {
+		a := r.Stream.Agg(c)
+		sum, n = units.Time(a.SumQueueDelay), a.DelaySamples
+	} else {
+		r.Each(c, func(fs *transport.FlowStats) {
+			sum += fs.SumQueueDelay
+			n += fs.DelaySamples
+		})
+	}
 	if n == 0 {
 		return 0
 	}

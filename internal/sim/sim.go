@@ -34,6 +34,24 @@ type Scenario struct {
 	// Flows is the workload, absolute-timed.
 	Flows []workload.Flow
 
+	// FlowSource, when set, supplies the workload lazily instead of
+	// Flows (setting both is an error). Flows must arrive in
+	// non-decreasing Start order; the runner schedules one arrival
+	// ahead of the clock instead of pre-scheduling every flow, so
+	// neither the workload nor the event heap grows with the total flow
+	// count.
+	FlowSource workload.Source
+
+	// StreamStats folds every flow record into fixed-size per-class
+	// aggregates (Result.Stream) at completion and releases the record,
+	// instead of retaining it in Result.Flows — O(1) memory per flow.
+	// All Result accessors answer from the aggregates; FCT percentiles
+	// carry the quantile sketch's relative-error bound
+	// (stats.DefaultSketchAlpha), other metrics are exact.
+	// Incompatible with SampleShortPackets, CollectTimeSeries and
+	// Replication, which need retained records.
+	StreamStats bool
+
 	// MaxTime hard-stops the run; 0 means run until all flows finish.
 	MaxTime units.Time
 	// StopWhenDone ends the run as soon as every flow completed
@@ -119,11 +137,17 @@ type PortSnapshot struct {
 
 // Result holds everything measured in one run.
 type Result struct {
-	Scenario       string
-	Scheme         string
-	Flows          []*transport.FlowStats
-	EndTime        units.Time
-	Drops          int64
+	Scenario string
+	Scheme   string
+	// Flows holds the per-flow records — empty under
+	// Scenario.StreamStats, where Stream carries the aggregates
+	// instead.
+	Flows []*transport.FlowStats
+	// Stream is the streaming aggregate representation (non-nil exactly
+	// when the scenario ran with StreamStats).
+	Stream  *StreamAgg
+	EndTime units.Time
+	Drops   int64
 	// FaultDrops counts packets dropped at down ports anywhere in the
 	// fabric (admission drops of the fault injector, not buffer drops).
 	FaultDrops     int64
@@ -150,8 +174,22 @@ func Run(sc Scenario) (*Result, error) {
 	if sc.Balancer == nil {
 		return nil, fmt.Errorf("sim: scenario %q has no balancer", sc.Name)
 	}
-	if len(sc.Flows) == 0 {
+	if len(sc.Flows) == 0 && sc.FlowSource == nil {
 		return nil, fmt.Errorf("sim: scenario %q has no flows", sc.Name)
+	}
+	if len(sc.Flows) > 0 && sc.FlowSource != nil {
+		return nil, fmt.Errorf("sim: scenario %q sets both Flows and FlowSource", sc.Name)
+	}
+	if sc.StreamStats {
+		if sc.SampleShortPackets || sc.CollectTimeSeries {
+			return nil, fmt.Errorf("sim: scenario %q: StreamStats is incompatible with SampleShortPackets/CollectTimeSeries (they retain per-packet records)", sc.Name)
+		}
+		if sc.Replication != nil {
+			return nil, fmt.Errorf("sim: scenario %q: StreamStats is incompatible with Replication (racing copies need retained records)", sc.Name)
+		}
+	}
+	if sc.FlowSource != nil && sc.Replication != nil {
+		return nil, fmt.Errorf("sim: scenario %q: Replication needs a materialized Flows slice", sc.Name)
 	}
 
 	s := eventsim.New()
@@ -167,6 +205,9 @@ func Run(sc Scenario) (*Result, error) {
 		Scenario:       sc.Name,
 		Scheme:         sc.SchemeName,
 		ShortThreshold: sc.ShortThreshold,
+	}
+	if sc.StreamStats {
+		res.Stream = &StreamAgg{}
 	}
 	if sc.CollectTimeSeries {
 		w := sc.TimeBucket.Seconds()
@@ -206,65 +247,122 @@ func Run(sc Scenario) (*Result, error) {
 		hosts[h].SetPool(pool)
 	}
 
+	// remaining counts scheduled-but-unfinished flows; sourceDrained is
+	// true once no further arrivals can appear (immediately for the
+	// slice path, at the lazy source's exhaustion otherwise), so the
+	// StopWhenDone check is the same predicate on both paths.
 	remaining := len(sc.Flows)
-	for i, f := range sc.Flows {
-		f := f
-		if f.Src == f.Dst || f.Src < 0 || f.Src >= len(hosts) || f.Dst < 0 || f.Dst >= len(hosts) {
-			return nil, fmt.Errorf("sim: flow %d has invalid endpoints %d->%d", i, f.Src, f.Dst)
-		}
+	sourceDrained := sc.FlowSource == nil
+	// openFlow runs at f.Start; it is the one shared body of the eager
+	// (pre-scheduled slice) and lazy (pumped source) arrival paths.
+	openFlow := func(i int, f workload.Flow) {
 		id := netem.FlowID{Src: f.Src, Dst: f.Dst, Port: i}
 		short := f.Size <= sc.ShortThreshold
+		recvHost := hosts[f.Dst]
+		sndHost := hosts[f.Src]
+		snd := sndHost.OpenSender(sc.Transport, id, f.Size, func(done *transport.Sender) {
+			recvHost.CloseReceiver(id)
+			sc.Tracer.Record(trace.Event{
+				At: s.Now(), Kind: trace.FlowEnd, Flow: id,
+				Note: fmt.Sprintf("fct=%v retx=%d", done.Stats.FCT(), done.Stats.Retransmits),
+			})
+			if res.Stream != nil {
+				// Fold and forget: the host already released the
+				// endpoint, so nothing retains the record.
+				res.Stream.Fold(&done.Stats, short, s.Now())
+			}
+			remaining--
+			if sc.StopWhenDone && remaining == 0 && sourceDrained {
+				s.Stop()
+			}
+		})
+		snd.Stats.Deadline = f.Deadline
+		recv := recvHost.OpenReceiver(sc.Transport, id, f.Size, &snd.Stats)
+		if sc.SampleShortPackets && short {
+			recv.Sample = func(ps transport.PacketSample) {
+				res.ShortSamples = append(res.ShortSamples, ps)
+			}
+		}
+		if sc.CollectTimeSeries {
+			prev := recv.Sample
+			recv.Sample = func(ps transport.PacketSample) {
+				if prev != nil {
+					prev(ps)
+				}
+				at := ps.At.Seconds()
+				ooo := 0.0
+				if ps.OutOfOrder {
+					ooo = 1
+				}
+				if short {
+					res.ShortQueueDelayUs.Add(at, ps.QueueDelay.Micros())
+					res.ShortOOORatio.Add(at, ooo)
+				} else {
+					res.LongOOORatio.Add(at, ooo)
+				}
+			}
+		}
+		if res.Stream == nil {
+			res.Flows = append(res.Flows, &snd.Stats)
+		}
+		sc.Tracer.Record(trace.Event{
+			At: s.Now(), Kind: trace.FlowStart, Flow: id,
+			Note: f.Size.String(),
+		})
+		snd.Start()
+	}
+
+	checkFlow := func(i int, f workload.Flow) error {
+		if f.Src == f.Dst || f.Src < 0 || f.Src >= len(hosts) || f.Dst < 0 || f.Dst >= len(hosts) {
+			return fmt.Errorf("sim: flow %d has invalid endpoints %d->%d", i, f.Src, f.Dst)
+		}
+		return nil
+	}
+
+	var runErr error
+	for i, f := range sc.Flows {
+		f := f
+		if err := checkFlow(i, f); err != nil {
+			return nil, err
+		}
 		if sc.Replication != nil && sc.Replication.Copies > 1 && f.Size <= sc.Replication.Threshold {
 			openReplicated(s, sc, res, hosts, f, i, &remaining)
 			continue
 		}
-		s.At(f.Start, func() {
-			recvHost := hosts[f.Dst]
-			sndHost := hosts[f.Src]
-			snd := sndHost.OpenSender(sc.Transport, id, f.Size, func(done *transport.Sender) {
-				recvHost.CloseReceiver(id)
-				sc.Tracer.Record(trace.Event{
-					At: s.Now(), Kind: trace.FlowEnd, Flow: id,
-					Note: fmt.Sprintf("fct=%v retx=%d", done.Stats.FCT(), done.Stats.Retransmits),
-				})
-				remaining--
-				if sc.StopWhenDone && remaining == 0 {
-					s.Stop()
+		i := i
+		s.At(f.Start, func() { openFlow(i, f) })
+	}
+	if sc.FlowSource != nil {
+		// Lazy pump: schedule one arrival ahead. Each flow's open event
+		// pulls the next flow from the source and schedules it, so at
+		// most one future arrival lives in the event heap at a time.
+		var pump func(i int, f workload.Flow)
+		pump = func(i int, f workload.Flow) {
+			if err := checkFlow(i, f); err != nil {
+				runErr = err
+				s.Stop()
+				return
+			}
+			if f.Start < s.Now() {
+				runErr = fmt.Errorf("sim: FlowSource went backwards: flow %d starts at %v, now %v", i, f.Start, s.Now())
+				s.Stop()
+				return
+			}
+			remaining++
+			s.At(f.Start, func() {
+				openFlow(i, f)
+				if nf, ok := sc.FlowSource.Next(); ok {
+					pump(i+1, nf)
+				} else {
+					sourceDrained = true
 				}
 			})
-			snd.Stats.Deadline = f.Deadline
-			recv := recvHost.OpenReceiver(sc.Transport, id, f.Size, &snd.Stats)
-			if sc.SampleShortPackets && short {
-				recv.Sample = func(ps transport.PacketSample) {
-					res.ShortSamples = append(res.ShortSamples, ps)
-				}
-			}
-			if sc.CollectTimeSeries {
-				prev := recv.Sample
-				recv.Sample = func(ps transport.PacketSample) {
-					if prev != nil {
-						prev(ps)
-					}
-					at := ps.At.Seconds()
-					ooo := 0.0
-					if ps.OutOfOrder {
-						ooo = 1
-					}
-					if short {
-						res.ShortQueueDelayUs.Add(at, ps.QueueDelay.Micros())
-						res.ShortOOORatio.Add(at, ooo)
-					} else {
-						res.LongOOORatio.Add(at, ooo)
-					}
-				}
-			}
-			res.Flows = append(res.Flows, &snd.Stats)
-			sc.Tracer.Record(trace.Event{
-				At: s.Now(), Kind: trace.FlowStart, Flow: id,
-				Note: f.Size.String(),
-			})
-			snd.Start()
-		})
+		}
+		if f, ok := sc.FlowSource.Next(); ok {
+			pump(0, f)
+		} else {
+			return nil, fmt.Errorf("sim: scenario %q: FlowSource yielded no flows", sc.Name)
+		}
 	}
 
 	// Goodput series: sample each flow's acked-byte progress once per
@@ -276,11 +374,25 @@ func Run(sc Scenario) (*Result, error) {
 	}
 
 	s.RunUntil(sc.MaxTime)
+	if runErr != nil {
+		return nil, runErr
+	}
 	if flushGoodput != nil {
 		flushGoodput()
 	}
 
 	res.EndTime = s.Now()
+	if res.Stream != nil {
+		// Completed flows folded at their done callbacks; sweep the
+		// still-open senders so unfinished flows count too, exactly as
+		// the record-based accessors count them. Host order then FlowID
+		// order keeps the fold sequence deterministic.
+		for _, h := range hosts {
+			h.EachOpenSenderSorted(func(snd *transport.Sender) {
+				res.Stream.Fold(&snd.Stats, snd.Stats.Size <= sc.ShortThreshold, res.EndTime)
+			})
+		}
+	}
 	res.Drops = net.Drops()
 	net.EveryQueue(func(_ string, q *netem.Queue) {
 		res.FaultDrops += q.Stats().FaultDropped

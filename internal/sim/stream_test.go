@@ -1,0 +1,315 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"tlb/internal/eventsim"
+	"tlb/internal/lb"
+	"tlb/internal/stats"
+	"tlb/internal/transport"
+	"tlb/internal/units"
+	"tlb/internal/workload"
+)
+
+// streamTestFlows builds a deterministic Poisson workload over the
+// small fabric: cross-leaf pairs, deadlined shorts, sized to span both
+// classes.
+func streamTestFlows(t *testing.T, n int) []workload.Flow {
+	t.Helper()
+	topo := smallTopo()
+	cfg := workload.PoissonConfig{
+		Hosts:         topo.Hosts(),
+		Sizes:         workload.Uniform{MinSize: 4 * units.KB, MaxSize: 200 * units.KB},
+		Load:          0.4,
+		HostBandwidth: topo.HostLink.Bandwidth,
+		Deadlines: workload.DeadlineDist{
+			Min: units.Millisecond, Max: 10 * units.Millisecond,
+			OnlyBelow: 100 * units.KB,
+		},
+		CrossLeafOnly: true,
+		LeafOf:        func(h int) int { return h / topo.HostsPerLeaf },
+	}
+	flows, err := cfg.Generate(eventsim.NewRNG(99), n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return flows
+}
+
+func streamTestScenario(flows []workload.Flow, maxTime units.Time) Scenario {
+	return Scenario{
+		Name: "stream-parity", Topology: smallTopo(),
+		Transport: transport.DefaultConfig(),
+		Balancer:  lb.ECMP(), SchemeName: "ecmp", Seed: 7,
+		Flows: flows, StopWhenDone: true, MaxTime: maxTime,
+	}
+}
+
+// assertStreamParity checks every Result accessor against the
+// record-based run: counters must be exactly equal; AFCT nearly equal
+// (running sum vs Welford); percentiles within the sketch bound of the
+// exact value's bracketing order statistics.
+func assertStreamParity(t *testing.T, exact, streamed *Result) {
+	t.Helper()
+	if len(streamed.Flows) != 0 {
+		t.Fatalf("streamed run retained %d records", len(streamed.Flows))
+	}
+	if streamed.Stream == nil {
+		t.Fatal("streamed run has no Stream aggregate")
+	}
+	if exact.EndTime != streamed.EndTime {
+		t.Fatalf("end times differ: %v vs %v", exact.EndTime, streamed.EndTime)
+	}
+	for _, c := range []Class{AllFlows, ShortFlows, LongFlows} {
+		if e, s := exact.Count(c), streamed.Count(c); e != s {
+			t.Fatalf("class %d Count %d vs %d", c, e, s)
+		}
+		if e, s := exact.CompletedCount(c), streamed.CompletedCount(c); e != s {
+			t.Fatalf("class %d CompletedCount %d vs %d", c, e, s)
+		}
+		if e, s := exact.TotalRetransmits(c), streamed.TotalRetransmits(c); e != s {
+			t.Fatalf("class %d retransmits %d vs %d", c, e, s)
+		}
+		if e, s := exact.TotalTimeouts(c), streamed.TotalTimeouts(c); e != s {
+			t.Fatalf("class %d timeouts %d vs %d", c, e, s)
+		}
+		if e, s := exact.DeadlineMissRatio(c), streamed.DeadlineMissRatio(c); e != s {
+			t.Fatalf("class %d miss ratio %v vs %v", c, e, s)
+		}
+		if e, s := exact.AggregateGoodput(c), streamed.AggregateGoodput(c); e != s {
+			t.Fatalf("class %d aggregate goodput %v vs %v", c, e, s)
+		}
+		if e, s := exact.MeanQueueDelay(c), streamed.MeanQueueDelay(c); e != s {
+			t.Fatalf("class %d queue delay %v vs %v", c, e, s)
+		}
+		if e, s := exact.OutOfOrderRatio(c), streamed.OutOfOrderRatio(c); e != s {
+			t.Fatalf("class %d ooo ratio %v vs %v", c, e, s)
+		}
+		if e, s := exact.DupAckRatio(c), streamed.DupAckRatio(c); e != s {
+			t.Fatalf("class %d dupack ratio %v vs %v", c, e, s)
+		}
+		// Goodput sums per-flow float terms in different orders
+		// (completion order vs record order), so compare with a tight
+		// relative tolerance rather than bit equality.
+		eg, sg := float64(exact.Goodput(c)), float64(streamed.Goodput(c))
+		if math.Abs(eg-sg) > 1e-6*math.Max(1, eg) {
+			t.Fatalf("class %d goodput %v vs %v", c, eg, sg)
+		}
+		ea, sa := exact.AFCT(c).Seconds(), streamed.AFCT(c).Seconds()
+		if math.Abs(ea-sa) > 1e-9*math.Max(1, ea) {
+			t.Fatalf("class %d AFCT %v vs %v", c, ea, sa)
+		}
+
+		// Percentiles: the streamed estimate must stay within the
+		// sketch's documented alpha bound of the exact value's
+		// bracketing order statistics.
+		var xs []float64
+		exact.Each(c, func(fs *transport.FlowStats) {
+			if fs.Done {
+				xs = append(xs, fs.FCT().Seconds())
+			}
+		})
+		if len(xs) == 0 {
+			continue
+		}
+		sort.Float64s(xs)
+		alpha := stats.DefaultSketchAlpha
+		for _, p := range []float64{10, 50, 90, 95, 99, 99.9} {
+			est := streamed.FCTPercentile(c, p).Seconds()
+			rank := p / 100 * float64(len(xs)-1)
+			lo := xs[int(rank)] * (1 - alpha)
+			hi := xs[int(math.Ceil(rank))] * (1 + alpha)
+			if est < lo-1e-12 || est > hi+1e-12 {
+				t.Fatalf("class %d p%v: streamed %v outside [%v, %v]", c, p, est, lo, hi)
+			}
+		}
+	}
+}
+
+func TestStreamStatsMatchesRecords(t *testing.T) {
+	flows := streamTestFlows(t, 400)
+	exact, err := Run(streamTestScenario(flows, 30*units.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := streamTestScenario(flows, 30*units.Second)
+	sc.StreamStats = true
+	streamed, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exact.CompletedCount(AllFlows); got != 400 {
+		t.Fatalf("only %d/400 completed; test wants a fully finished run", got)
+	}
+	assertStreamParity(t, exact, streamed)
+}
+
+// TestStreamStatsCrossCheck100k is the at-scale accuracy gate: the
+// same 100k-flow workload run with records and streamed, every
+// counter metric exactly equal and every percentile within the
+// sketch's documented bound of the exact order statistics.
+func TestStreamStatsCrossCheck100k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-flow cross-check skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("single-goroutine scale test; skipped under -race")
+	}
+	flows := streamTestFlows(t, 100_000)
+	exact, err := Run(streamTestScenario(flows, 120*units.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := streamTestScenario(flows, 120*units.Second)
+	sc.StreamStats = true
+	streamed, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exact.CompletedCount(AllFlows); got != 100_000 {
+		t.Fatalf("only %d/100000 completed; test wants a fully finished run", got)
+	}
+	assertStreamParity(t, exact, streamed)
+}
+
+// A truncated run leaves flows unfinished; the streamed end-of-run
+// sweep must fold them exactly as the record-based accessors count
+// them (deadline misses at EndTime, goodput over active time).
+func TestStreamStatsMatchesRecordsWithUnfinished(t *testing.T) {
+	flows := streamTestFlows(t, 400)
+	cut := flows[len(flows)-1].Start / 2
+	exact, err := Run(streamTestScenario(flows, cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := streamTestScenario(flows, cut)
+	sc.StreamStats = true
+	streamed, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.CompletedCount(AllFlows) >= exact.Count(AllFlows) {
+		t.Fatal("test wants unfinished flows")
+	}
+	assertStreamParity(t, exact, streamed)
+}
+
+// The lazy FlowSource path must produce the same simulation as the
+// pre-materialized slice: same flow count, same completions, same
+// aggregates.
+func TestFlowSourceMatchesSlice(t *testing.T) {
+	topo := smallTopo()
+	cfg := workload.PoissonConfig{
+		Hosts:         topo.Hosts(),
+		Sizes:         workload.Uniform{MinSize: 4 * units.KB, MaxSize: 200 * units.KB},
+		Load:          0.4,
+		HostBandwidth: topo.HostLink.Bandwidth,
+		CrossLeafOnly: true,
+		LeafOf:        func(h int) int { return h / topo.HostsPerLeaf },
+	}
+	flows, err := cfg.Generate(eventsim.NewRNG(5), 300, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slice := streamTestScenario(flows, 30*units.Second)
+	slice.StreamStats = true
+	fromSlice, err := Run(slice)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := cfg.Source(eventsim.NewRNG(5), 300, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy := streamTestScenario(nil, 30*units.Second)
+	lazy.StreamStats = true
+	lazy.FlowSource = src
+	fromSource, err := Run(lazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same draws, same event sequence, same fold order: the aggregates
+	// must be identical, floats included.
+	for _, c := range []Class{AllFlows, ShortFlows, LongFlows} {
+		if a, b := fromSlice.Count(c), fromSource.Count(c); a != b {
+			t.Fatalf("class %d count %d vs %d", c, a, b)
+		}
+		if a, b := fromSlice.CompletedCount(c), fromSource.CompletedCount(c); a != b {
+			t.Fatalf("class %d completed %d vs %d", c, a, b)
+		}
+		if a, b := fromSlice.AFCT(c), fromSource.AFCT(c); a != b {
+			t.Fatalf("class %d AFCT %v vs %v", c, a, b)
+		}
+		if a, b := fromSlice.FCTPercentile(c, 99), fromSource.FCTPercentile(c, 99); a != b {
+			t.Fatalf("class %d p99 %v vs %v", c, a, b)
+		}
+		if a, b := fromSlice.Goodput(c), fromSource.Goodput(c); a != b {
+			t.Fatalf("class %d goodput %v vs %v", c, a, b)
+		}
+	}
+	if fromSlice.EndTime != fromSource.EndTime {
+		t.Fatalf("end time %v vs %v", fromSlice.EndTime, fromSource.EndTime)
+	}
+}
+
+func TestStreamScenarioValidation(t *testing.T) {
+	flows := []workload.Flow{{Src: 0, Dst: 4, Size: units.KB, Start: 0}}
+	base := streamTestScenario(flows, units.Second)
+
+	sc := base
+	sc.FlowSource = workload.NewSliceSource(flows)
+	if _, err := Run(sc); err == nil {
+		t.Fatal("no error for Flows+FlowSource")
+	}
+
+	sc = base
+	sc.StreamStats = true
+	sc.CollectTimeSeries = true
+	if _, err := Run(sc); err == nil {
+		t.Fatal("no error for StreamStats+CollectTimeSeries")
+	}
+
+	sc = base
+	sc.StreamStats = true
+	sc.SampleShortPackets = true
+	if _, err := Run(sc); err == nil {
+		t.Fatal("no error for StreamStats+SampleShortPackets")
+	}
+
+	sc = base
+	sc.StreamStats = true
+	sc.Replication = &ReplicationConfig{Threshold: 100 * units.KB, Copies: 2}
+	if _, err := Run(sc); err == nil {
+		t.Fatal("no error for StreamStats+Replication")
+	}
+
+	sc = base
+	sc.Flows = nil
+	sc.FlowSource = workload.NewSliceSource(nil)
+	if _, err := Run(sc); err == nil {
+		t.Fatal("no error for empty FlowSource")
+	}
+
+	sc = base
+	sc.Flows = nil
+	sc.FlowSource = workload.NewSliceSource([]workload.Flow{
+		{Src: 0, Dst: 4, Size: units.KB, Start: units.Millisecond},
+		{Src: 1, Dst: 5, Size: units.KB, Start: 0}, // goes backwards
+	})
+	if _, err := Run(sc); err == nil {
+		t.Fatal("no error for a FlowSource with decreasing starts")
+	}
+
+	sc = base
+	sc.Flows = nil
+	sc.FlowSource = workload.NewSliceSource([]workload.Flow{
+		{Src: 0, Dst: 99, Size: units.KB, Start: 0}, // invalid endpoint
+	})
+	if _, err := Run(sc); err == nil {
+		t.Fatal("no error for invalid endpoints from a source")
+	}
+}

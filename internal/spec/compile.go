@@ -176,7 +176,7 @@ func (s *Spec) compile(materialize bool) (sim.Scenario, error) {
 	}
 
 	// Workload.
-	sc.Flows = s.compileWorkload(c, kind, lsCfg, ftCfg, materialize)
+	sc.Flows, sc.FlowSource = s.compileWorkload(c, kind, lsCfg, ftCfg, materialize)
 
 	// Faults address leaf-spine pairs; the fat-tree build has no
 	// notion of them.
@@ -211,6 +211,18 @@ func (s *Spec) compile(materialize bool) (sim.Scenario, error) {
 	sc.SampleShortPackets = s.Outputs.SampleShortPackets
 	sc.CollectTimeSeries = s.Outputs.CollectTimeSeries
 	sc.TimeBucket = c.dur("outputs.timeBucket", s.Outputs.TimeBucket)
+	sc.StreamStats = s.Outputs.StreamStats
+	if s.Outputs.StreamStats {
+		if s.Outputs.SampleShortPackets {
+			c.errf("outputs.streamStats", "incompatible with outputs.sampleShortPackets (per-packet samples need retained records)")
+		}
+		if s.Outputs.CollectTimeSeries {
+			c.errf("outputs.streamStats", "incompatible with outputs.collectTimeSeries (the series sampler scans retained records)")
+		}
+		if s.Replication != nil {
+			c.errf("outputs.streamStats", "incompatible with replication (racing copies need retained records)")
+		}
+	}
 
 	if err := c.err(); err != nil {
 		return sim.Scenario{}, fmt.Errorf("spec %q invalid:\n%w", s.Name, err)
@@ -421,7 +433,11 @@ func (s *Spec) compileDeadlines(c *checker, path string, d *Deadlines) workload.
 	return dd
 }
 
-func (s *Spec) compileWorkload(c *checker, topoKind string, lsCfg topology.Config, ftCfg topology.FatTreeConfig, materialize bool) []workload.Flow {
+// compileWorkload lowers the workload to either a materialized flow
+// slice or (under outputs.streamStats, for the kinds that support it)
+// a lazy workload.Source drawing the identical sequence. Exactly one
+// of the two returns is non-nil on success.
+func (s *Spec) compileWorkload(c *checker, topoKind string, lsCfg topology.Config, ftCfg topology.FatTreeConfig, materialize bool) ([]workload.Flow, workload.Source) {
 	w := s.Workload
 	wseed := s.Seed + 1
 	if w.Seed != nil {
@@ -467,7 +483,9 @@ func (s *Spec) compileWorkload(c *checker, topoKind string, lsCfg topology.Confi
 	case "mix":
 		reject("poisson", poissonFields...)
 		reject("interpod", interpodFields...)
-		return s.compileMix(c, topoKind, lsCfg, ftCfg, wseed, materialize)
+		// Mix populations are bounded by their group lists, so streaming
+		// runs keep the materialized slice (sim folds it all the same).
+		return s.compileMix(c, topoKind, lsCfg, ftCfg, wseed, materialize), nil
 	case "interpod":
 		reject("poisson", poissonFields...)
 		reject("mix", mixFields...)
@@ -477,14 +495,14 @@ func (s *Spec) compileWorkload(c *checker, topoKind string, lsCfg topology.Confi
 	default:
 		c.errf("workload.kind", "unknown kind %q (valid: poisson, mix, interpod)", w.Kind)
 	}
-	return nil
+	return nil, nil
 }
 
-func (s *Spec) compilePoisson(c *checker, topoKind string, lsCfg topology.Config, wseed uint64, materialize bool) []workload.Flow {
+func (s *Spec) compilePoisson(c *checker, topoKind string, lsCfg topology.Config, wseed uint64, materialize bool) ([]workload.Flow, workload.Source) {
 	w := s.Workload
 	if topoKind != "leafspine" {
 		c.errf("workload.kind", "poisson traffic needs a leafspine topology (load is defined against the leaf-spine fabric capacity)")
-		return nil
+		return nil, nil
 	}
 	if w.Flows <= 0 {
 		c.errf("workload.flows", "must be a positive flow count")
@@ -495,7 +513,7 @@ func (s *Spec) compilePoisson(c *checker, topoKind string, lsCfg topology.Config
 	sizes := s.compileSizes(c, "workload.sizes", w.Sizes)
 	deadlines := s.compileDeadlinesOpt(c, "workload.deadlines", w.Deadlines)
 	if len(c.errs) > 0 || !materialize {
-		return nil
+		return nil, nil
 	}
 	hostsPerLeaf := lsCfg.HostsPerLeaf
 	// Load is defined against the aggregate fabric capacity, exactly as
@@ -509,12 +527,20 @@ func (s *Spec) compilePoisson(c *checker, topoKind string, lsCfg topology.Config
 		CrossLeafOnly: true,
 		LeafOf:        func(h int) int { return h / hostsPerLeaf },
 	}
+	if s.Outputs.StreamStats {
+		src, err := pc.Source(eventsim.NewRNG(wseed), w.Flows, 0)
+		if err != nil {
+			c.errf("workload", "%v", err)
+			return nil, nil
+		}
+		return nil, s.applyDeadlineOverrideSource(c, src)
+	}
 	flows, err := pc.Generate(eventsim.NewRNG(wseed), w.Flows, 0)
 	if err != nil {
 		c.errf("workload", "%v", err)
-		return nil
+		return nil, nil
 	}
-	return s.applyDeadlineOverride(c, flows)
+	return s.applyDeadlineOverride(c, flows), nil
 }
 
 func (s *Spec) compileDeadlinesOpt(c *checker, path string, d *Deadlines) workload.DeadlineDist {
@@ -609,16 +635,16 @@ func (s *Spec) compileMix(c *checker, topoKind string, lsCfg topology.Config, ft
 	return s.applyDeadlineOverride(c, flows)
 }
 
-func (s *Spec) compileInterPod(c *checker, topoKind string, ftCfg topology.FatTreeConfig, wseed uint64, materialize bool) []workload.Flow {
+func (s *Spec) compileInterPod(c *checker, topoKind string, ftCfg topology.FatTreeConfig, wseed uint64, materialize bool) ([]workload.Flow, workload.Source) {
 	w := s.Workload
 	if topoKind != "fattree" {
 		c.errf("workload.kind", "interpod traffic needs a fattree topology")
-		return nil
+		return nil, nil
 	}
 	ip := w.InterPod
 	if ip == nil {
 		c.errf("workload.interPod", "must be set for kind %q", "interpod")
-		return nil
+		return nil, nil
 	}
 	if ip.Flows <= 0 {
 		c.errf("workload.interPod.flows", "must be a positive flow count")
@@ -635,28 +661,33 @@ func (s *Spec) compileInterPod(c *checker, topoKind string, ftCfg topology.FatTr
 		c.errf("workload.interPod.deadlineBase", "deadline base and jitter must not be negative")
 	}
 	if len(c.errs) > 0 || !materialize {
-		return nil
+		return nil, nil
 	}
-	rng := eventsim.NewRNG(wseed)
 	hosts := ftCfg.Hosts()
-	perPod := hosts / ftCfg.K
-	flows := make([]workload.Flow, 0, ip.Flows)
-	at := units.Time(0)
-	for i := 0; i < ip.Flows; i++ {
-		at += units.Time(rng.Intn(int(maxGap)))
-		src := rng.Intn(hosts)
-		dst := rng.Intn(hosts)
-		for dst/perPod == src/perPod {
-			dst = rng.Intn(hosts)
-		}
-		size := sizes.Sample(rng)
-		f := workload.Flow{Src: src, Dst: dst, Size: size, Start: at}
-		if dlJitter > 0 && (dlBelow == 0 || size <= dlBelow) {
-			f.Deadline = at + dlBase + units.Time(rng.Intn(int(dlJitter)))
-		}
-		flows = append(flows, f)
+	ipc := workload.InterPodConfig{
+		Hosts:             hosts,
+		PerPod:            hosts / ftCfg.K,
+		Flows:             ip.Flows,
+		Sizes:             sizes,
+		MaxGap:            maxGap,
+		DeadlineBase:      dlBase,
+		DeadlineJitter:    dlJitter,
+		DeadlineOnlyBelow: dlBelow,
 	}
-	return s.applyDeadlineOverride(c, flows)
+	if s.Outputs.StreamStats {
+		src, err := ipc.Source(eventsim.NewRNG(wseed))
+		if err != nil {
+			c.errf("workload.interPod", "%v", err)
+			return nil, nil
+		}
+		return nil, s.applyDeadlineOverrideSource(c, src)
+	}
+	flows, err := ipc.Generate(eventsim.NewRNG(wseed))
+	if err != nil {
+		c.errf("workload.interPod", "%v", err)
+		return nil, nil
+	}
+	return s.applyDeadlineOverride(c, flows), nil
 }
 
 // applyDeadlineOverride rewrites deadlines after generation. It runs
@@ -681,6 +712,24 @@ func (s *Spec) applyDeadlineOverride(c *checker, flows []workload.Flow) []worklo
 		}
 	}
 	return flows
+}
+
+// applyDeadlineOverrideSource is the lazy counterpart: it decorates the
+// source instead of rewriting a slice, with identical per-flow
+// semantics (the decorator runs after each flow's draws, so the
+// underlying stream is undisturbed).
+func (s *Spec) applyDeadlineOverrideSource(c *checker, src workload.Source) workload.Source {
+	o := s.Workload.DeadlineOverride
+	if o == nil {
+		return src
+	}
+	d := c.dur("workload.deadlineOverride.deadline", o.Deadline)
+	below := c.size("workload.deadlineOverride.onlyBelow", o.OnlyBelow)
+	if d <= 0 {
+		c.errf("workload.deadlineOverride.deadline", "must be a positive duration")
+		return src
+	}
+	return workload.OverrideDeadlines(src, d, below)
 }
 
 var faultOps = []struct {

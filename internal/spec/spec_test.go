@@ -324,3 +324,127 @@ func TestWorkloadSeedOverride(t *testing.T) {
 		t.Fatal("different workload seed should change the flows")
 	}
 }
+
+// A streaming spec must compile the workload to a lazy Source drawing
+// the exact flow sequence the eager path materializes — for both kinds
+// that support it — and carry the StreamStats flag into the scenario.
+func TestCompileStreamStatsProducesSource(t *testing.T) {
+	// Poisson on leaf-spine.
+	s := testSpec()
+	s.Workload = Workload{
+		Kind:             "poisson",
+		Flows:            50,
+		Load:             0.5,
+		Sizes:            &SizeDist{Kind: "websearch", Truncate: "20MB"},
+		Deadlines:        &Deadlines{Min: "5ms", Max: "25ms", OnlyBelow: "100KB"},
+		DeadlineOverride: &DeadlineOverride{Deadline: "10ms", OnlyBelow: "100KB"},
+	}
+	eager, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Outputs.StreamStats = true
+	lazy, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lazy.StreamStats {
+		t.Fatal("StreamStats flag not carried into the scenario")
+	}
+	if lazy.Flows != nil || lazy.FlowSource == nil {
+		t.Fatalf("streaming compile: Flows %v FlowSource %v", lazy.Flows, lazy.FlowSource)
+	}
+	if got := workload.Collect(lazy.FlowSource); !reflect.DeepEqual(got, eager.Flows) {
+		t.Fatal("lazy poisson source diverges from the eager flows")
+	}
+
+	// Interpod on fat-tree.
+	s = testSpec()
+	s.Topology = Topology{
+		Kind:       "fattree",
+		K:          4,
+		HostLink:   Link{Bandwidth: "1Gbps", Delay: "5us"},
+		FabricLink: Link{Bandwidth: "1Gbps", Delay: "10us"},
+		Queue:      Queue{Capacity: 256, ECNThreshold: 65},
+	}
+	s.Workload = Workload{
+		Kind: "interpod",
+		InterPod: &InterPod{
+			Flows:             40,
+			Sizes:             SizeDist{Kind: "websearch", Truncate: "20MB"},
+			MaxGap:            "200us",
+			DeadlineBase:      "5ms",
+			DeadlineJitter:    "20ms",
+			DeadlineOnlyBelow: "100KB",
+		},
+	}
+	eager, err = s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Outputs.StreamStats = true
+	lazy, err = s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lazy.Flows != nil || lazy.FlowSource == nil {
+		t.Fatalf("streaming compile: Flows %v FlowSource %v", lazy.Flows, lazy.FlowSource)
+	}
+	if got := workload.Collect(lazy.FlowSource); !reflect.DeepEqual(got, eager.Flows) {
+		t.Fatal("lazy interpod source diverges from the eager flows")
+	}
+
+	// Mix keeps the materialized slice even when streaming.
+	s = testSpec()
+	s.Outputs.StreamStats = true
+	sc, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.StreamStats || len(sc.Flows) == 0 || sc.FlowSource != nil {
+		t.Fatalf("streaming mix: StreamStats %v Flows %d FlowSource %v",
+			sc.StreamStats, len(sc.Flows), sc.FlowSource)
+	}
+}
+
+func TestStreamStatsOutputConflicts(t *testing.T) {
+	s := testSpec()
+	s.Outputs.StreamStats = true
+	s.Outputs.CollectTimeSeries = true
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "outputs.streamStats") {
+		t.Fatalf("streamStats+collectTimeSeries should be rejected, got %v", err)
+	}
+
+	s = testSpec()
+	s.Outputs.StreamStats = true
+	s.Outputs.SampleShortPackets = true
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "outputs.streamStats") {
+		t.Fatalf("streamStats+sampleShortPackets should be rejected, got %v", err)
+	}
+
+	s = testSpec()
+	s.Outputs.StreamStats = true
+	s.Replication = &Replication{Threshold: "100KB", Copies: 2}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "outputs.streamStats") {
+		t.Fatalf("streamStats+replication should be rejected, got %v", err)
+	}
+}
+
+func TestStreamStatsRoundTrip(t *testing.T) {
+	s := testSpec()
+	s.Outputs.StreamStats = true
+	data, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"streamStats": true`) {
+		t.Fatalf("marshal lost streamStats:\n%s", data)
+	}
+	back, err := LoadBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatalf("round trip changed the spec:\n%s", data)
+	}
+}

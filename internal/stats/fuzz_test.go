@@ -3,6 +3,7 @@ package stats
 import (
 	"encoding/binary"
 	"math"
+	"sort"
 	"testing"
 )
 
@@ -14,6 +15,97 @@ import (
 //     monotone non-decreasing in p;
 //   - Histogram.Quantile(q) is monotone non-decreasing in q and bounded
 //     by the histogram's value range (0, bins*width].
+//
+// FuzzQuantileSketch drives the quantile sketch through arbitrary
+// add/merge interleavings: each 9-byte chunk is a shard selector byte
+// plus a float64 observation (non-finite skipped). The same stream
+// feeds one single sketch and N per-shard sketches merged afterwards,
+// checking the contracts the streaming stats mode relies on:
+//
+//   - no panics on any interleaving;
+//   - merged-shards count equals the single-stream count, and (absent
+//     collapse) every quantile matches the single stream exactly;
+//   - for positive data, quantiles stay within the documented alpha
+//     bound of the exact bracketing order statistics;
+//   - Quantile is monotone non-decreasing in q and inside [min, max].
+func FuzzQuantileSketch(f *testing.F) {
+	seed := func(vals ...float64) []byte {
+		var b []byte
+		for i, v := range vals {
+			b = append(b, byte(i))
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+		}
+		return b
+	}
+	f.Add(seed(1.0, 2.5, 0.001, 2.5))
+	f.Add(seed(0.0, -1.0, 1e300))
+	f.Add(seed(1e-12, 1e12, 7.25, 7.25, 7.25, 1e-300))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const alpha = DefaultSketchAlpha
+		single := NewQuantileSketch(alpha)
+		shards := make([]*QuantileSketch, 4)
+		for i := range shards {
+			shards[i] = NewQuantileSketch(alpha)
+		}
+		var xs []float64
+		allPositive := true
+		for len(data) >= 9 {
+			shard := int(data[0]) % len(shards)
+			v := math.Float64frombits(binary.LittleEndian.Uint64(data[1:9]))
+			data = data[9:]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				single.Add(v) // must be ignored, not panic
+				continue
+			}
+			single.Add(v)
+			shards[shard].Add(v)
+			xs = append(xs, v)
+			if v <= 0 {
+				allPositive = false
+			}
+		}
+		merged := NewQuantileSketch(alpha)
+		for _, sh := range shards {
+			merged.Merge(sh)
+		}
+		if merged.N() != single.N() {
+			t.Fatalf("merged n=%d, single n=%d", merged.N(), single.N())
+		}
+		if len(xs) == 0 {
+			if single.Quantile(0.5) != 0 {
+				t.Fatal("empty sketch quantile not 0")
+			}
+			return
+		}
+		sort.Float64s(xs)
+		lo, hi := xs[0], xs[len(xs)-1]
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			est := single.Quantile(q)
+			if est < prev {
+				t.Fatalf("Quantile not monotone: q=%v gave %v after %v", q, est, prev)
+			}
+			prev = est
+			if est < lo || est > hi {
+				t.Fatalf("Quantile(%v) = %v outside [%v, %v]", q, est, lo, hi)
+			}
+			if !single.Collapsed() {
+				if m := merged.Quantile(q); m != est {
+					t.Fatalf("q=%v: merged %v != single %v", q, m, est)
+				}
+			}
+			if allPositive && !single.Collapsed() {
+				rank := q * float64(len(xs)-1)
+				bLo := xs[int(rank)]
+				bHi := xs[int(math.Ceil(rank))]
+				if est < bLo*(1-alpha)-1e-12 || est > bHi*(1+alpha)+1e-12 {
+					t.Fatalf("q=%v: %v outside [%v, %v]·(1±%v)", q, est, bLo, bHi, alpha)
+				}
+			}
+		}
+	})
+}
+
 func FuzzQuantiles(f *testing.F) {
 	seed := func(vals ...float64) []byte {
 		var b []byte

@@ -1,0 +1,234 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultSketchAlpha is the relative-error bound the streaming
+// experiments use: a reported quantile is within 1% of the true value.
+const DefaultSketchAlpha = 0.01
+
+// defaultSketchBuckets caps the bucket map. With alpha = 0.01 (gamma ≈
+// 1.0202) 2048 buckets span a dynamic range of e^(2048·ln γ) ≈ 6e17,
+// far wider than any FCT distribution; the cap only engages on
+// adversarial inputs, collapsing the *lowest* buckets so upper
+// quantiles (the p99s the figures report) keep their bound.
+const defaultSketchBuckets = 2048
+
+// QuantileSketch is a DDSketch-style streaming quantile estimator with
+// a relative-error guarantee: for any quantile q whose true value is x,
+// the estimate x̂ satisfies |x̂ - x| <= alpha·x, using O(log(max/min)/
+// log(gamma)) memory independent of the observation count.
+//
+// Values map to geometric buckets: index(x) = ceil(ln x / ln gamma)
+// with gamma = (1+alpha)/(1-alpha), estimated back as the bucket
+// midpoint 2·gamma^i/(gamma+1). Non-positive values count in a
+// dedicated zero bucket (estimated as exactly 0, which FCTs below the
+// simulator's time resolution round to anyway).
+//
+// Sketches with equal alpha merge exactly: bucket counts add, so a
+// merge of per-shard sketches equals the single-stream sketch over the
+// concatenated observations, bucket for bucket. This is what lets
+// RunSweep workers reduce shards without widening the bound.
+type QuantileSketch struct {
+	alpha   float64
+	gamma   float64
+	lnGamma float64
+	counts  map[int]int64
+	zeros   int64
+	n       int64
+	min     float64
+	max     float64
+	// maxBuckets bounds len(counts); exceeding it collapses the lowest
+	// buckets together, degrading low quantiles only.
+	maxBuckets int
+	collapsed  bool
+}
+
+// NewQuantileSketch creates a sketch with the given relative-error
+// bound (0 < alpha < 1).
+func NewQuantileSketch(alpha float64) *QuantileSketch {
+	if alpha <= 0 || alpha >= 1 {
+		panic(fmt.Sprintf("stats: sketch alpha %v outside (0,1)", alpha))
+	}
+	gamma := (1 + alpha) / (1 - alpha)
+	return &QuantileSketch{
+		alpha:      alpha,
+		gamma:      gamma,
+		lnGamma:    math.Log(gamma),
+		counts:     make(map[int]int64),
+		maxBuckets: defaultSketchBuckets,
+	}
+}
+
+// Alpha returns the sketch's relative-error bound.
+func (s *QuantileSketch) Alpha() float64 { return s.alpha }
+
+// N returns the observation count.
+func (s *QuantileSketch) N() int64 { return s.n }
+
+// Collapsed reports whether the bucket cap ever forced low buckets to
+// merge (low quantiles may exceed the bound afterwards; high ones keep
+// it).
+func (s *QuantileSketch) Collapsed() bool { return s.collapsed }
+
+func (s *QuantileSketch) index(x float64) int {
+	return int(math.Ceil(math.Log(x) / s.lnGamma))
+}
+
+func (s *QuantileSketch) value(i int) float64 {
+	// Bucket i covers (gamma^(i-1), gamma^i]; the midpoint in relative
+	// terms is 2·gamma^i/(gamma+1), within alpha of everything in it.
+	return 2 * math.Exp(float64(i)*s.lnGamma) / (s.gamma + 1)
+}
+
+// Add folds one observation in. NaN is ignored; non-positive values
+// (and +Inf's negation) count in the zero bucket.
+func (s *QuantileSketch) Add(x float64) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return
+	}
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	if x <= 0 {
+		s.zeros++
+		return
+	}
+	s.counts[s.index(x)]++
+	s.collapse()
+}
+
+// Merge folds another sketch into this one. Both must share the same
+// alpha; merge is exact (bucket counts add).
+func (s *QuantileSketch) Merge(o *QuantileSketch) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if math.Abs(s.alpha-o.alpha) > 1e-12 {
+		panic(fmt.Sprintf("stats: merging sketches with different alpha (%v vs %v)", s.alpha, o.alpha))
+	}
+	if s.n == 0 {
+		s.min, s.max = o.min, o.max
+	} else {
+		if o.min < s.min {
+			s.min = o.min
+		}
+		if o.max > s.max {
+			s.max = o.max
+		}
+	}
+	s.n += o.n
+	s.zeros += o.zeros
+	s.collapsed = s.collapsed || o.collapsed
+	for _, k := range o.sortedKeys() {
+		s.counts[k] += o.counts[k]
+	}
+	s.collapse()
+}
+
+func (s *QuantileSketch) sortedKeys() []int {
+	keys := make([]int, 0, len(s.counts))
+	//simlint:allow maporder(keys are collected here and sorted below before any use)
+	for k := range s.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// collapse merges the lowest buckets whenever the cap is exceeded,
+// preserving upper-quantile accuracy.
+func (s *QuantileSketch) collapse() {
+	if len(s.counts) <= s.maxBuckets {
+		return
+	}
+	keys := s.sortedKeys()
+	// Fold everything below the cut into the first retained bucket.
+	cut := len(keys) - s.maxBuckets
+	keep := keys[cut]
+	for _, k := range keys[:cut] {
+		s.counts[keep] += s.counts[k]
+		delete(s.counts, k)
+	}
+	s.collapsed = true
+}
+
+// Quantile returns the estimated q-quantile (q in [0,1]); 0 when
+// empty. The rank convention matches Sample.Percentile: rank q·(n-1)
+// over the sorted observations.
+func (s *QuantileSketch) Quantile(q float64) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(s.n-1))
+	if rank >= s.n {
+		rank = s.n - 1
+	}
+	if rank < s.zeros {
+		// All zero-bucket values are <= 0; estimate with the smallest
+		// observation (exact when everything non-positive is 0).
+		if s.min < 0 {
+			return s.min
+		}
+		return 0
+	}
+	acc := s.zeros
+	for _, k := range s.sortedKeys() {
+		acc += s.counts[k]
+		if acc > rank {
+			return s.clamp(s.value(k))
+		}
+	}
+	return s.clamp(s.max)
+}
+
+// Percentile is Quantile with p in [0,100], mirroring Sample.
+func (s *QuantileSketch) Percentile(p float64) float64 {
+	return s.Quantile(p / 100)
+}
+
+// clamp keeps estimates inside the observed range: bucket midpoints
+// can stick out past min/max by up to alpha, and the observed extremes
+// are always the better answer there.
+func (s *QuantileSketch) clamp(v float64) float64 {
+	if v < s.min {
+		return s.min
+	}
+	if v > s.max {
+		return s.max
+	}
+	return v
+}
+
+// Min returns the smallest observation (0 when empty).
+func (s *QuantileSketch) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (s *QuantileSketch) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}

@@ -1,0 +1,239 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"tlb/internal/eventsim"
+)
+
+// bracketBound checks est against the exact quantile's bracketing
+// order statistics: any estimator honoring a relative bound alpha must
+// land in [lo·(1-alpha), hi·(1+alpha)] for positive data.
+func bracketBound(t *testing.T, xs []float64, q, est, alpha float64) {
+	t.Helper()
+	rank := q * float64(len(xs)-1)
+	lo := xs[int(rank)]
+	hi := xs[int(math.Ceil(rank))]
+	if est < lo*(1-alpha)-1e-12 || est > hi*(1+alpha)+1e-12 {
+		t.Fatalf("q=%v: estimate %v outside [%v, %v]·(1±%v)", q, est, lo, hi, alpha)
+	}
+}
+
+func TestSketchAccuracyLogUniform(t *testing.T) {
+	rng := eventsim.NewRNG(11)
+	s := NewQuantileSketch(DefaultSketchAlpha)
+	xs := make([]float64, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		// Log-uniform over [1e-6, 1e2] seconds — the FCT range the
+		// figures span.
+		x := math.Exp(math.Log(1e-6) + rng.Float64()*math.Log(1e8))
+		s.Add(x)
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	for _, q := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1} {
+		bracketBound(t, xs, q, s.Quantile(q), s.Alpha())
+	}
+	if s.Min() != xs[0] || s.Max() != xs[len(xs)-1] {
+		t.Fatalf("min/max %v/%v, want %v/%v", s.Min(), s.Max(), xs[0], xs[len(xs)-1])
+	}
+	if s.Collapsed() {
+		t.Fatal("10k log-uniform values must not hit the bucket cap")
+	}
+}
+
+func TestSketchMergeMatchesSingleStream(t *testing.T) {
+	rng := eventsim.NewRNG(13)
+	single := NewQuantileSketch(DefaultSketchAlpha)
+	shards := make([]*QuantileSketch, 4)
+	for i := range shards {
+		shards[i] = NewQuantileSketch(DefaultSketchAlpha)
+	}
+	for i := 0; i < 5000; i++ {
+		x := rng.ExpFloat64() * 1e-3
+		single.Add(x)
+		shards[i%4].Add(x)
+	}
+	merged := NewQuantileSketch(DefaultSketchAlpha)
+	for _, sh := range shards {
+		merged.Merge(sh)
+	}
+	if merged.N() != single.N() {
+		t.Fatalf("merged n=%d, single n=%d", merged.N(), single.N())
+	}
+	// Without collapse, merge is exact: same buckets, same counts, so
+	// identical quantiles — not merely within-bound.
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		if m, s := merged.Quantile(q), single.Quantile(q); m != s {
+			t.Fatalf("q=%v: merged %v != single %v", q, m, s)
+		}
+	}
+}
+
+func TestSketchZerosAndNegatives(t *testing.T) {
+	s := NewQuantileSketch(0.01)
+	if s.Quantile(0.5) != 0 {
+		t.Fatal("empty sketch quantile not 0")
+	}
+	s.Add(0)
+	s.Add(0)
+	s.Add(0)
+	if s.Quantile(0.5) != 0 || s.Quantile(1) != 0 {
+		t.Fatalf("all-zero quantiles %v %v", s.Quantile(0.5), s.Quantile(1))
+	}
+	s.Add(-2.5)
+	if got := s.Quantile(0); got != -2.5 {
+		t.Fatalf("q0 with negative = %v", got)
+	}
+	s.Add(10)
+	if got := s.Quantile(1); got != 10 {
+		t.Fatalf("q1 = %v", got)
+	}
+	s.Add(math.NaN())
+	s.Add(math.Inf(1))
+	if s.N() != 5 {
+		t.Fatalf("non-finite values must be ignored, n=%d", s.N())
+	}
+}
+
+func TestSketchCollapseKeepsUpperQuantiles(t *testing.T) {
+	rng := eventsim.NewRNG(17)
+	s := NewQuantileSketch(DefaultSketchAlpha)
+	// 512 buckets cover a gamma^512 ≈ 2.8e4 value ratio; the data spans
+	// 1e14, so collapse must trigger. Retained buckets then cover the
+	// top ~30% of the log-uniform mass, so quantiles from 0.9 up must
+	// keep the bound while lower ones are sacrificed.
+	s.maxBuckets = 512
+	xs := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		x := math.Exp(math.Log(1e-9) + rng.Float64()*math.Log(1e14))
+		s.Add(x)
+		xs = append(xs, x)
+	}
+	if !s.Collapsed() {
+		t.Fatal("collapse must have triggered")
+	}
+	sort.Float64s(xs)
+	for _, q := range []float64{0.9, 0.95, 0.99, 0.999, 1} {
+		bracketBound(t, xs, q, s.Quantile(q), s.Alpha())
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.02 {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("collapsed sketch not monotone at q=%v", q)
+		}
+		prev = v
+	}
+}
+
+func TestSketchMergeAlphaMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	a := NewQuantileSketch(0.01)
+	a.Add(1)
+	b := NewQuantileSketch(0.02)
+	b.Add(2)
+	a.Merge(b)
+}
+
+func TestSketchBadAlphaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewQuantileSketch(1.5)
+}
+
+func TestOnlineMergeMatchesSingleStream(t *testing.T) {
+	rng := eventsim.NewRNG(19)
+	var single Online
+	parts := make([]Online, 3)
+	for i := 0; i < 3000; i++ {
+		x := rng.Float64()*200 - 100
+		single.Add(x)
+		parts[i%3].Add(x)
+	}
+	var merged Online
+	for i := range parts {
+		merged.Merge(&parts[i])
+	}
+	if merged.N() != single.N() {
+		t.Fatalf("n %d vs %d", merged.N(), single.N())
+	}
+	if math.Abs(merged.Mean()-single.Mean()) > 1e-9 {
+		t.Fatalf("mean %v vs %v", merged.Mean(), single.Mean())
+	}
+	if math.Abs(merged.Var()-single.Var()) > 1e-6*math.Max(1, single.Var()) {
+		t.Fatalf("var %v vs %v", merged.Var(), single.Var())
+	}
+	if merged.Min() != single.Min() || merged.Max() != single.Max() {
+		t.Fatalf("min/max %v/%v vs %v/%v", merged.Min(), merged.Max(), single.Min(), single.Max())
+	}
+	// Merging into an empty accumulator copies; merging empty is a no-op.
+	var empty, copyTo Online
+	copyTo.Merge(&single)
+	if copyTo.Mean() != single.Mean() || copyTo.N() != single.N() {
+		t.Fatal("merge into empty must copy")
+	}
+	copyTo.Merge(&empty)
+	if copyTo.N() != single.N() {
+		t.Fatal("merging empty must be a no-op")
+	}
+}
+
+func TestFlowAggMerge(t *testing.T) {
+	var a, b FlowAgg
+	a.Count, a.Completed, a.BytesAcked = 10, 8, 1000
+	a.DeadlineTotal, a.DeadlineMissed = 4, 1
+	a.GoodputSum, a.GoodputN = 8e9, 8
+	a.Retransmits, a.Timeouts = 3, 1
+	a.PacketsRecv, a.OutOfOrder, a.DupAcksSent = 500, 5, 2
+	a.SumQueueDelay, a.DelaySamples = 12345, 500
+	a.AddFCT(0.010)
+	a.AddFCT(0.020)
+
+	b.Count, b.Completed, b.BytesAcked = 5, 5, 600
+	b.DeadlineTotal, b.DeadlineMissed = 2, 2
+	b.GoodputSum, b.GoodputN = 5e9, 5
+	b.AddFCT(0.030)
+
+	a.Merge(&b)
+	if a.Count != 15 || a.Completed != 13 || a.BytesAcked != 1600 {
+		t.Fatalf("counters %+v", a)
+	}
+	if a.DeadlineTotal != 6 || a.DeadlineMissed != 3 {
+		t.Fatalf("deadlines %+v", a)
+	}
+	if got := a.MissRatio(); got != 0.5 {
+		t.Fatalf("miss ratio %v", got)
+	}
+	if got := a.MeanGoodput(); got != 1e9 {
+		t.Fatalf("mean goodput %v", got)
+	}
+	if a.FCT.N() != 3 || math.Abs(a.FCT.Mean()-0.020) > 1e-12 {
+		t.Fatalf("fct n=%d mean=%v", a.FCT.N(), a.FCT.Mean())
+	}
+	if a.Sketch.N() != 3 {
+		t.Fatalf("sketch n=%d", a.Sketch.N())
+	}
+	if p := a.Sketch.Quantile(1); math.Abs(p-0.030) > 0.030*DefaultSketchAlpha {
+		t.Fatalf("sketch max quantile %v", p)
+	}
+
+	// Merging a sketch-bearing agg into a zero one initializes it.
+	var c FlowAgg
+	c.Merge(&a)
+	if c.Sketch == nil || c.Sketch.N() != 3 {
+		t.Fatal("merge into zero agg must carry the sketch")
+	}
+	if (&FlowAgg{}).MissRatio() != 0 || (&FlowAgg{}).MeanGoodput() != 0 {
+		t.Fatal("zero agg ratios must be 0")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 )
 
 // Online accumulates count/mean/variance in one pass (Welford).
@@ -35,6 +36,30 @@ func (o *Online) Add(x float64) {
 	d := x - o.mean
 	o.mean += d / float64(o.n)
 	o.m2 += d * (x - o.mean)
+}
+
+// Merge folds another accumulator into this one (Chan et al.'s
+// parallel variance formula), so per-shard Online stats reduce exactly
+// as if the shards had been one stream.
+func (o *Online) Merge(p *Online) {
+	if p.n == 0 {
+		return
+	}
+	if o.n == 0 {
+		*o = *p
+		return
+	}
+	n := o.n + p.n
+	d := p.mean - o.mean
+	o.m2 += p.m2 + d*d*float64(o.n)*float64(p.n)/float64(n)
+	o.mean += d * float64(p.n) / float64(n)
+	if p.min < o.min {
+		o.min = p.min
+	}
+	if p.max > o.max {
+		o.max = p.max
+	}
+	o.n = n
 }
 
 // N returns the observation count.
@@ -74,28 +99,29 @@ func (o *Online) Max() float64 {
 // sorts lazily and re-sorts only after new data arrives.
 type Sample struct {
 	xs     []float64
+	sum    float64
 	sorted bool
 }
 
 // Add appends one observation.
 func (s *Sample) Add(x float64) {
 	s.xs = append(s.xs, x)
+	s.sum += x
 	s.sorted = false
 }
 
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.xs) }
 
-// Mean returns the arithmetic mean (0 when empty).
+// Mean returns the arithmetic mean (0 when empty). The sum accumulates
+// at Add time (insertion order), so Mean is O(1) per call instead of a
+// re-scan — the re-scan made every figure's AFCT render O(n²) at large
+// flow counts.
 func (s *Sample) Mean() float64 {
 	if len(s.xs) == 0 {
 		return 0
 	}
-	sum := 0.0
-	for _, x := range s.xs {
-		sum += x
-	}
-	return sum / float64(len(s.xs))
+	return s.sum / float64(len(s.xs))
 }
 
 func (s *Sample) ensureSorted() {
@@ -180,12 +206,16 @@ func (s *Series) Add(x, y float64) {
 }
 
 // Format renders the series as aligned "x y" rows for terminal output.
+// A strings.Builder keeps rendering linear in the point count; the
+// previous += concatenation re-copied the whole prefix per row, which
+// is quadratic across a large figure's render path.
 func (s *Series) Format() string {
-	out := fmt.Sprintf("# %s\n", s.Name)
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", s.Name)
 	for _, p := range s.Points {
-		out += fmt.Sprintf("%-12.6g %.6g\n", p.X, p.Y)
+		fmt.Fprintf(&b, "%-12.6g %.6g\n", p.X, p.Y)
 	}
-	return out
+	return b.String()
 }
 
 // TimeSeries buckets observations by time for "instantaneous" plots
@@ -194,7 +224,17 @@ func (s *Series) Format() string {
 type TimeSeries struct {
 	width   float64
 	buckets []bucket
+	// Observations past maxTimeBuckets*width land here instead of
+	// growing the bucket slice without bound (or, worse, wrapping the
+	// index negative on float→int conversion).
+	overflowN   int64
+	overflowSum float64
 }
+
+// maxTimeBuckets caps the bucket slice: at the default widths used by
+// the figures (1–10ms) this covers hours of simulated time while
+// bounding memory at ~16 MB even for adversarial timestamps.
+const maxTimeBuckets = 1 << 20
 
 type bucket struct {
 	n   int64
@@ -210,9 +250,19 @@ func NewTimeSeries(width float64) *TimeSeries {
 	return &TimeSeries{width: width}
 }
 
-// Add records an observation at the given time.
+// Add records an observation at the given time. Observations at or
+// beyond maxTimeBuckets*width count into an overflow bucket (see
+// Overflow) and are excluded from Means/Sums/Rates.
 func (t *TimeSeries) Add(at, value float64) {
 	if at < 0 {
+		return
+	}
+	// Compare in float space before converting: int(huge/width) wraps
+	// negative and would index out of range, and a merely-large quotient
+	// would allocate an absurd bucket slice.
+	if at/t.width >= float64(maxTimeBuckets) {
+		t.overflowN++
+		t.overflowSum += value
 		return
 	}
 	i := int(at / t.width)
@@ -221,6 +271,12 @@ func (t *TimeSeries) Add(at, value float64) {
 	}
 	t.buckets[i].n++
 	t.buckets[i].sum += value
+}
+
+// Overflow returns the count and sum of observations that fell beyond
+// the bucket cap.
+func (t *TimeSeries) Overflow() (n int64, sum float64) {
+	return t.overflowN, t.overflowSum
 }
 
 // Means returns one point per non-empty bucket: (bucket midpoint,
@@ -331,17 +387,32 @@ func (h *Histogram) Quantile(q float64) float64 {
 }
 
 // CDF returns (upper bin edge, cumulative fraction) points for
-// non-empty prefixes of the histogram.
+// non-empty prefixes of the histogram. Overflow mass is folded into a
+// terminal point at the histogram's upper edge so the curve always
+// ends at exactly 1.0.
 func (h *Histogram) CDF() []Point {
 	if h.n == 0 {
 		return nil
 	}
 	var out []Point
 	var acc int64
+	lastBinEmitted := false
 	for i, c := range h.bins {
 		acc += c
-		if c > 0 || (i == len(h.bins)-1 && h.overflow > 0) {
+		if c > 0 {
 			out = append(out, Point{X: float64(i+1) * h.width, Y: float64(acc) / float64(h.n)})
+			lastBinEmitted = i == len(h.bins)-1
+		}
+	}
+	if h.overflow > 0 {
+		// The overflow bucket has no upper edge of its own; pin its mass
+		// to the histogram's upper edge, replacing the last bin's point
+		// if that bin already emitted at the same X.
+		p := Point{X: float64(len(h.bins)) * h.width, Y: 1.0}
+		if lastBinEmitted {
+			out[len(out)-1] = p
+		} else {
+			out = append(out, p)
 		}
 	}
 	return out

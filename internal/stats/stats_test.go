@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -212,6 +213,38 @@ func TestTimeSeriesWidthScaling(t *testing.T) {
 	}
 }
 
+// Regression: int(at/width) on a huge timestamp wraps negative and
+// indexed out of range; a merely-large one allocated an absurd slice.
+// Both must land in the overflow bucket instead.
+func TestTimeSeriesHugeTimestampOverflows(t *testing.T) {
+	ts := NewTimeSeries(1.0)
+	ts.Add(1e300, 7) // wrapped negative before the fix → panic
+	ts.Add(1e9, 3)   // would have allocated a billion buckets
+	ts.Add(0.5, 10)  // normal observation still lands in a bucket
+	if n, sum := ts.Overflow(); n != 2 || sum != 10 {
+		t.Fatalf("overflow n=%d sum=%v, want 2/10", n, sum)
+	}
+	if len(ts.buckets) != 1 {
+		t.Fatalf("%d buckets allocated, want 1", len(ts.buckets))
+	}
+	means := ts.Means()
+	if len(means) != 1 || means[0].Y != 10 {
+		t.Fatalf("means %v: overflow must not leak into buckets", means)
+	}
+}
+
+func TestTimeSeriesBucketCapBoundary(t *testing.T) {
+	ts := NewTimeSeries(1.0)
+	ts.Add(float64(maxTimeBuckets)-0.5, 1) // last in-range bucket
+	ts.Add(float64(maxTimeBuckets), 1)     // first overflow value
+	if n, _ := ts.Overflow(); n != 1 {
+		t.Fatalf("overflow n=%d, want 1", n)
+	}
+	if len(ts.buckets) != maxTimeBuckets {
+		t.Fatalf("%d buckets, want %d", len(ts.buckets), maxTimeBuckets)
+	}
+}
+
 func TestTimeSeriesPanicsOnBadWidth(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -250,6 +283,80 @@ func TestHistogram(t *testing.T) {
 	}
 	if h.Mean() == 0 {
 		t.Fatal("mean")
+	}
+}
+
+// Regression: CDF never folded h.overflow into the cumulative count,
+// so any overflow mass left the curve ending below 1.0.
+func TestHistogramCDFReachesOneWithOverflow(t *testing.T) {
+	h := NewHistogram(10, 4) // covers [0, 40)
+	h.Add(5)
+	h.Add(15)
+	h.Add(1000) // overflow
+	h.Add(2000) // overflow
+	pts := h.CDF()
+	if len(pts) != 3 {
+		t.Fatalf("CDF %v, want 3 points", pts)
+	}
+	last := pts[len(pts)-1]
+	if last.X != 40 || last.Y != 1.0 {
+		t.Fatalf("terminal point %v, want (40, 1)", last)
+	}
+	if pts[0].Y != 0.25 || pts[1].Y != 0.5 {
+		t.Fatalf("prefix points %v", pts[:2])
+	}
+
+	// When the last bin is occupied too, the terminal point replaces it
+	// rather than duplicating the X.
+	h2 := NewHistogram(10, 2)
+	h2.Add(15)  // last bin
+	h2.Add(100) // overflow
+	pts2 := h2.CDF()
+	if len(pts2) != 1 || pts2[0].X != 20 || pts2[0].Y != 1.0 {
+		t.Fatalf("CDF %v, want single (20, 1)", pts2)
+	}
+
+	// No overflow: curve already ends at 1.0 with no extra point.
+	h3 := NewHistogram(10, 2)
+	h3.Add(5)
+	pts3 := h3.CDF()
+	if len(pts3) != 1 || pts3[0].Y != 1.0 {
+		t.Fatalf("CDF %v", pts3)
+	}
+}
+
+// The running-sum Mean and Builder-based Format must match the naive
+// implementations exactly.
+func TestSampleMeanMatchesNaive(t *testing.T) {
+	rng := eventsim.NewRNG(7)
+	var s Sample
+	sum := 0.0
+	for i := 0; i < 1000; i++ {
+		x := rng.Float64()*1e6 - 5e5
+		s.Add(x)
+		sum += x
+	}
+	if got, want := s.Mean(), sum/1000; got != want {
+		t.Fatalf("mean %v, want %v", got, want)
+	}
+	// Percentile sorts xs in place; Mean must be unaffected.
+	s.Percentile(50)
+	if got, want := s.Mean(), sum/1000; got != want {
+		t.Fatalf("mean after sort %v, want %v", got, want)
+	}
+}
+
+func TestSeriesFormatMatchesNaive(t *testing.T) {
+	rng := eventsim.NewRNG(9)
+	s := Series{Name: "curve"}
+	want := "# curve\n"
+	for i := 0; i < 100; i++ {
+		x, y := rng.Float64()*10, rng.Float64()*1e9
+		s.Add(x, y)
+		want += fmt.Sprintf("%-12.6g %.6g\n", x, y)
+	}
+	if got := s.Format(); got != want {
+		t.Fatalf("Format diverged from naive concatenation:\n%q\nvs\n%q", got, want)
 	}
 }
 

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"sort"
 
 	"tlb/internal/eventsim"
 	"tlb/internal/netem"
@@ -84,6 +85,31 @@ func (h *Host) OpenReceiver(cfg Config, id netem.FlowID, size units.Bytes, stats
 // the flow is done, so endpoint maps do not grow with completed flows).
 func (h *Host) CloseReceiver(id netem.FlowID) {
 	delete(h.receivers, id)
+}
+
+// EachOpenSenderSorted visits the still-open senders in FlowID order —
+// completed flows left the map at their done callback, so this is the
+// deterministic end-of-run sweep streaming stats fold unfinished flows
+// with.
+func (h *Host) EachOpenSenderSorted(fn func(*Sender)) {
+	ids := make([]netem.FlowID, 0, len(h.senders))
+	//simlint:allow maporder(ids are collected here and sorted below before any use)
+	for id := range h.senders {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := ids[i], ids[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		return a.Port < b.Port
+	})
+	for _, id := range ids {
+		fn(h.senders[id])
+	}
 }
 
 // Receive dispatches a delivered packet to the right endpoint, then

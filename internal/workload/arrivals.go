@@ -77,32 +77,14 @@ func (c PoissonConfig) Rate() float64 {
 }
 
 // Generate produces n flows with Poisson interarrivals starting at
-// time start.
+// time start. It drains the lazy Source, so eager and streaming
+// callers see one draw sequence by construction.
 func (c PoissonConfig) Generate(rng *eventsim.RNG, n int, start units.Time) ([]Flow, error) {
-	if c.Hosts < 2 {
-		return nil, fmt.Errorf("workload: poisson traffic needs >= 2 hosts, got %d", c.Hosts)
+	src, err := c.Source(rng, n, start)
+	if err != nil {
+		return nil, err
 	}
-	if c.RateOverride <= 0 && (c.Load <= 0 || c.HostBandwidth <= 0) {
-		return nil, fmt.Errorf("workload: poisson traffic needs positive load and bandwidth")
-	}
-	rate := c.Rate()
-	if rate <= 0 {
-		return nil, fmt.Errorf("workload: degenerate arrival rate")
-	}
-	flows := make([]Flow, 0, n)
-	at := start
-	for i := 0; i < n; i++ {
-		gap := units.FromSeconds(rng.ExpFloat64() / rate)
-		at += gap
-		src, dst := c.pickPair(rng)
-		size := c.Sizes.Sample(rng)
-		f := Flow{Src: src, Dst: dst, Size: size, Start: at}
-		if d := c.Deadlines.Sample(rng, size); d > 0 {
-			f.Deadline = at + d
-		}
-		flows = append(flows, f)
-	}
-	return flows, nil
+	return Collect(src), nil
 }
 
 func (c PoissonConfig) pickPair(rng *eventsim.RNG) (src, dst int) {

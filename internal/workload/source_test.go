@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"testing"
+
+	"tlb/internal/eventsim"
+	"tlb/internal/units"
+)
+
+func testPoissonConfig() PoissonConfig {
+	return PoissonConfig{
+		Hosts:         16,
+		Sizes:         Uniform{MinSize: 4 * units.KB, MaxSize: 64 * units.KB},
+		Load:          0.5,
+		HostBandwidth: 10 * units.Gbps,
+		Deadlines: DeadlineDist{
+			Min:       5 * units.Millisecond,
+			Max:       25 * units.Millisecond,
+			OnlyBelow: 100 * units.KB,
+		},
+	}
+}
+
+// The lazy source and the eager Generate must consume the RNG
+// identically: same seed, same flows, flow for flow.
+func TestPoissonSourceMatchesGenerate(t *testing.T) {
+	cfg := testPoissonConfig()
+	want, err := cfg.Generate(eventsim.NewRNG(3), 500, 1*units.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := cfg.Source(eventsim.NewRNG(3), 500, 1*units.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Collect(src)
+	if len(got) != len(want) {
+		t.Fatalf("%d flows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("flow %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+	// Exhausted source keeps returning false.
+	if _, ok := src.Next(); ok {
+		t.Fatal("exhausted source yielded a flow")
+	}
+}
+
+func TestPoissonSourceStartsNonDecreasing(t *testing.T) {
+	src, err := testPoissonConfig().Source(eventsim.NewRNG(5), 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev units.Time
+	for {
+		f, ok := src.Next()
+		if !ok {
+			break
+		}
+		if f.Start < prev {
+			t.Fatalf("start went backwards: %v after %v", f.Start, prev)
+		}
+		prev = f.Start
+	}
+}
+
+func TestPoissonSourceValidation(t *testing.T) {
+	bad := testPoissonConfig()
+	bad.Hosts = 1
+	if _, err := bad.Source(eventsim.NewRNG(1), 10, 0); err == nil {
+		t.Fatal("no error for 1 host")
+	}
+	bad = testPoissonConfig()
+	bad.Load = 0
+	if _, err := bad.Source(eventsim.NewRNG(1), 10, 0); err == nil {
+		t.Fatal("no error for zero load")
+	}
+}
+
+func TestInterPodSourceMatchesGenerate(t *testing.T) {
+	cfg := InterPodConfig{
+		Hosts:             64,
+		PerPod:            16,
+		Flows:             400,
+		Sizes:             Uniform{MinSize: 4 * units.KB, MaxSize: 64 * units.KB},
+		MaxGap:            20 * units.Microsecond,
+		DeadlineBase:      5 * units.Millisecond,
+		DeadlineJitter:    20 * units.Millisecond,
+		DeadlineOnlyBelow: 100 * units.KB,
+	}
+	want, err := cfg.Generate(eventsim.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 400 {
+		t.Fatalf("%d flows", len(want))
+	}
+	src, err := cfg.Source(eventsim.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		f, ok := src.Next()
+		if !ok {
+			if i != len(want) {
+				t.Fatalf("source ended at %d, want %d", i, len(want))
+			}
+			break
+		}
+		if f != want[i] {
+			t.Fatalf("flow %d: %+v != %+v", i, f, want[i])
+		}
+		if f.Src/cfg.PerPod == f.Dst/cfg.PerPod {
+			t.Fatalf("flow %d not cross-pod: %d -> %d", i, f.Src, f.Dst)
+		}
+		if f.Deadline == 0 && f.Size <= cfg.DeadlineOnlyBelow {
+			t.Fatalf("flow %d below threshold lacks deadline", i)
+		}
+	}
+}
+
+func TestInterPodValidation(t *testing.T) {
+	base := InterPodConfig{Hosts: 64, PerPod: 16, Flows: 10, Sizes: Fixed{Size: units.KB}, MaxGap: units.Microsecond}
+	for _, mod := range []func(*InterPodConfig){
+		func(c *InterPodConfig) { c.Flows = 0 },
+		func(c *InterPodConfig) { c.PerPod = 0 },
+		func(c *InterPodConfig) { c.Hosts = 16 }, // single pod
+		func(c *InterPodConfig) { c.MaxGap = 0 },
+	} {
+		c := base
+		mod(&c)
+		if _, err := c.Source(eventsim.NewRNG(1)); err == nil {
+			t.Fatalf("no error for %+v", c)
+		}
+	}
+	if _, err := base.Source(eventsim.NewRNG(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceSourceRoundTrip(t *testing.T) {
+	flows := []Flow{
+		{Src: 0, Dst: 1, Size: units.KB, Start: 0},
+		{Src: 1, Dst: 2, Size: 2 * units.KB, Start: units.Microsecond},
+	}
+	got := Collect(NewSliceSource(flows))
+	if len(got) != 2 || got[0] != flows[0] || got[1] != flows[1] {
+		t.Fatalf("round trip %+v", got)
+	}
+	if got := Collect(NewSliceSource(nil)); got != nil {
+		t.Fatalf("empty source collected %+v", got)
+	}
+}
+
+func TestOverrideDeadlines(t *testing.T) {
+	flows := []Flow{
+		{Src: 0, Dst: 1, Size: 10 * units.KB, Start: units.Millisecond, Deadline: 99 * units.Millisecond},
+		{Src: 1, Dst: 2, Size: 500 * units.KB, Start: 2 * units.Millisecond, Deadline: 99 * units.Millisecond},
+	}
+	src := OverrideDeadlines(NewSliceSource(flows), 5*units.Millisecond, 100*units.KB)
+	got := Collect(src)
+	if got[0].Deadline != flows[0].Start+5*units.Millisecond {
+		t.Fatalf("small flow deadline %v", got[0].Deadline)
+	}
+	if got[1].Deadline != 0 {
+		t.Fatalf("large flow deadline %v, want cleared", got[1].Deadline)
+	}
+	// onlyBelow == 0 applies to everything.
+	src = OverrideDeadlines(NewSliceSource(flows), 5*units.Millisecond, 0)
+	got = Collect(src)
+	if got[1].Deadline != flows[1].Start+5*units.Millisecond {
+		t.Fatalf("deadline %v", got[1].Deadline)
+	}
+}
