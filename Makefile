@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench bench-all alloc-gates specs examples largescale-smoke ci
+.PHONY: build test vet lint lint-json race bench bench-all alloc-gates specs examples largescale-smoke ci
 
 build:
 	$(GO) build ./...
@@ -12,10 +12,18 @@ vet:
 	$(GO) vet ./...
 
 # lint runs simlint, the repo's custom static analyzer enforcing the
-# determinism and unit-safety contract (see DESIGN.md, "Determinism
-# contract"): nowallclock, noglobalrand, maporder, floateq, unitliteral.
+# determinism, unit-safety, ownership and shard-readiness contract (see
+# DESIGN.md, "Determinism contract" / "Static enforcement"):
+# nowallclock, noglobalrand, maporder, floateq, unitliteral, packetown,
+# handlelife, dimcheck, sharedstate — plus stale-suppression detection.
 lint:
 	$(GO) run ./cmd/simlint ./...
+
+# lint-json emits the same findings machine-readably: a JSON array on
+# stdout and a SARIF 2.1.0 log in simlint.sarif (stable SIMxxx ids),
+# for editors and CI annotation.
+lint-json:
+	$(GO) run ./cmd/simlint -json -sarif simlint.sarif ./...
 
 # The race detector runs over every package: the shared sweep runner
 # (internal/sim) and the batched figure runners (internal/experiments)
@@ -36,6 +44,8 @@ bench:
 	| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_4.json -section after
 	$(GO) test -bench 'BenchmarkLargeScaleStream' -benchtime 1x -run '^$$' . \
 	| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_6.json -section after -require 'flows/sec,peakRSS-MB'
+	$(GO) test -bench 'BenchmarkSimlint' -benchtime 1x -run '^$$' ./internal/lint \
+	| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_7.json -section after
 
 # bench-all runs every benchmark once, without touching BENCH_4.json —
 # a quick "do they all still run" check.

@@ -9,6 +9,8 @@ import (
 // shortPolicyNames maps the spec-level policy strings onto the enum;
 // EnvConfig/buildTLB translate in both directions so the registry and
 // the experiments share one spelling.
+//
+//simlint:allow sharedstate(immutable name table; never written after init)
 var shortPolicyNames = []struct {
 	name   string
 	policy ShortPolicy

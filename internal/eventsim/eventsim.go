@@ -194,16 +194,18 @@ func (s *Sim) AfterArg(d Time, fn func(any), arg any) Event {
 	return s.AtArg(s.now+d, fn, arg)
 }
 
-// Cancel removes a pending event. Cancelling an event that already ran
-// (or was already cancelled) is a no-op, so callers may cancel timers
-// unconditionally; the generation check makes this safe even after the
-// event's node has been recycled for a different event.
-func (s *Sim) Cancel(h Event) {
+// Cancel removes a pending event and reports whether it was still
+// pending. Cancelling an event that already ran (or was already
+// cancelled) returns false and does nothing else, so callers may
+// cancel timers unconditionally; the generation check makes this safe
+// even after the event's node has been recycled for a different event.
+func (s *Sim) Cancel(h Event) bool {
 	if h.e == nil || h.gen != h.e.gen {
-		return
+		return false
 	}
 	s.remove(int(h.e.heap))
 	s.release(h.e)
+	return true
 }
 
 // Stop makes the current Run/RunUntil call return after the in-flight

@@ -72,8 +72,12 @@ func TestCancel(t *testing.T) {
 	s := New()
 	fired := false
 	e := s.At(10, func() { fired = true })
-	s.Cancel(e)
-	s.Cancel(e) // double cancel is a no-op
+	if !s.Cancel(e) {
+		t.Fatal("Cancel of a pending event reported not-pending")
+	}
+	if s.Cancel(e) { // double cancel is a no-op
+		t.Fatal("double Cancel reported the event as still pending")
+	}
 	s.Run()
 	if fired {
 		t.Fatal("cancelled event fired")

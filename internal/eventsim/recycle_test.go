@@ -65,7 +65,9 @@ func TestCancelRecycledEventIsNoOp(t *testing.T) {
 	if stale.Scheduled() {
 		t.Fatal("stale handle reports scheduled after its event fired")
 	}
-	s.Cancel(stale) // generation mismatch: must be a no-op
+	if s.Cancel(stale) { // generation mismatch: must be a no-op
+		t.Fatal("stale handle cancelled the recycled node's new event")
+	}
 	if !fresh.Scheduled() {
 		t.Fatal("cancelling a stale handle killed the recycled node's new event")
 	}
@@ -82,14 +84,18 @@ func TestCancelRecycledEventIsNoOp(t *testing.T) {
 func TestCancelledHandleStaysInertAfterReuse(t *testing.T) {
 	s := New()
 	old := s.At(5, func() { t.Error("cancelled event fired") })
-	s.Cancel(old)
+	if !s.Cancel(old) {
+		t.Fatal("Cancel of a pending event reported not-pending")
+	}
 
 	fired := false
 	s.At(7, func() { fired = true })
 	if old.Scheduled() {
 		t.Fatal("cancelled handle reports the recycled node's new event as its own")
 	}
-	s.Cancel(old)
+	if s.Cancel(old) {
+		t.Fatal("stale cancel reported success against the recycled node")
+	}
 	s.Run()
 	if !fired {
 		t.Fatal("event scheduled into a recycled node was killed by a stale cancel")
@@ -156,7 +162,7 @@ func TestEventChurn(t *testing.T) {
 		}
 		var live []rec
 		nextID := 0
-		fired := map[int]int{}   // id -> fire count
+		fired := map[int]int{} // id -> fire count
 		expected := map[int]bool{}
 
 		for op := 0; op < 5000; op++ {
@@ -215,7 +221,9 @@ func TestAtArg(t *testing.T) {
 	s.AtArg(10, record, 1)
 	s.At(15, func() { got = append(got, 15) })
 	c := s.AfterArg(5, record, 99)
-	s.Cancel(c)
+	if !s.Cancel(c) {
+		t.Fatal("Cancel of a pending AfterArg event reported not-pending")
+	}
 	s.Run()
 	want := []int{1, 15, 2}
 	if len(got) != len(want) {

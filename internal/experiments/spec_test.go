@@ -151,7 +151,6 @@ func TestSpecCompileRoundTripResults(t *testing.T) {
 		{"end time", direct.EndTime.Seconds(), tripped.EndTime.Seconds()},
 	}
 	for _, c := range checks {
-		//simlint:allow floateq(determinism contract: the round trip must reproduce bit-identical metrics)
 		if c.from != c.to {
 			t.Errorf("%s: direct %v != round-tripped %v", c.name, c.from, c.to)
 		}

@@ -29,6 +29,7 @@ type noLinkError struct{}
 
 func (noLinkError) Error() string { return "no such link" }
 
+//simlint:allow sharedstate(immutable error sentinel; never reassigned)
 var errNoLink = noLinkError{}
 
 func TestInjectorAppliesScheduleInOrder(t *testing.T) {
@@ -158,7 +159,6 @@ func TestValidateRejectsBrokenEvents(t *testing.T) {
 		"negative delay":    {{At: 0, Op: OpDelay, Delay: -units.Second}},
 		"unknown direction": {{At: 0, Dir: Direction(9)}},
 	}
-	//simlint:allow maporder(each case is independent; failures name the case)
 	for name, sched := range cases {
 		if err := sched.Validate(); err == nil {
 			t.Errorf("%s: Validate accepted %v", name, sched)

@@ -14,32 +14,51 @@ import (
 // the wall clock. time.Duration arithmetic and constants stay legal.
 var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Sleep": true}
 
-// checkPackage runs every analyzer over one package.
+// checkPackage runs every analyzer over one package. Test packages
+// (p.test) only run the rules whose InTests flag is set: wall-clock,
+// map order, float equality and unit handling are legitimate in test
+// harnesses, while ownership, handle-lifetime, global-rand and
+// shared-state bugs in tests hide real races and leaks.
 func (l *linter) checkPackage(p *pkg) {
-	sim := isSimPackage(p.path)
+	sim := isSimPackage(strings.TrimSuffix(p.path, "_test"))
+	on := func(rule string) bool { return !p.test || enforcedInTests(rule) }
 	for _, f := range p.files {
-		l.checkImports(p, f)
+		if on("noglobalrand") {
+			l.checkImports(p, f)
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.SelectorExpr:
-				if sim {
+				if sim && on("nowallclock") {
 					l.checkWallClock(p, n)
 				}
 			case *ast.RangeStmt:
-				if sim {
+				if sim && on("maporder") {
 					l.checkMapOrder(p, n)
 				}
 			case *ast.BinaryExpr:
-				if sim {
+				if sim && on("floateq") {
 					l.checkFloatEq(p, n)
 				}
 			case *ast.CallExpr:
-				if sim {
+				if sim && on("unitliteral") {
 					l.checkUnitLiteral(p, n)
 				}
 			}
 			return true
 		})
+		if on("packetown") {
+			l.checkPacketOwn(p, f)
+		}
+		if on("handlelife") {
+			l.checkHandleLife(p, f)
+		}
+		if sim && on("dimcheck") && !strings.HasSuffix(p.path, "/units") {
+			l.checkDimensions(p, f)
+		}
+		if on("sharedstate") {
+			l.checkSharedState(p, f, sim)
+		}
 	}
 }
 

@@ -1,0 +1,279 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// dimcheck performs dimensional analysis over the named unit types
+// units.Time, units.Bandwidth and units.Bytes. The type system already
+// rejects `t + b` for distinct named types — but only until someone
+// writes int64(t), at which point the dimension is gone and any
+// re-wrap type-checks. The analyzer closes that hole by tracking the
+// physical dimension of values through explicit int64()/float64()
+// strips and local assignments, and reports
+//
+//   - conversions that re-wrap a value of one dimension in a different
+//     unit type (units.Bytes(int64(someTime))), and
+//   - +, -, %, and comparison operators whose operands carry two
+//     different known dimensions.
+//
+// Multiplication and division across dimensions are deliberately legal
+// and yield an unknown dimension: Bytes/Bandwidth is how a Time is
+// born, Bandwidth*Time is how a Bytes is — the physical relations are
+// the intended escape hatch, so a cross-unit value built by ratio can
+// be wrapped in its proper unit without complaint.
+type dim int
+
+const (
+	dimUnknown dim = iota // untracked: parameters, struct fields, mixed products
+	dimNone               // known dimensionless: literals, scalar constants
+	dimTime
+	dimBandwidth
+	dimBytes
+)
+
+func (d dim) String() string {
+	switch d {
+	case dimTime:
+		return "units.Time"
+	case dimBandwidth:
+		return "units.Bandwidth"
+	case dimBytes:
+		return "units.Bytes"
+	}
+	return "dimensionless"
+}
+
+func (d dim) isUnit() bool { return d >= dimTime }
+
+// typeDim maps a type to its dimension: the three units types carry
+// one, every other type carries none that we can know statically.
+func typeDim(t types.Type) dim {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return dimUnknown
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "units" {
+		return dimUnknown
+	}
+	switch obj.Name() {
+	case "Time":
+		return dimTime
+	case "Bandwidth":
+		return dimBandwidth
+	case "Bytes":
+		return dimBytes
+	}
+	return dimUnknown
+}
+
+// checkDimensions runs the dimensional analysis over one file. The
+// traversal is pre-order and in source order, so assignments seen
+// earlier feed the dimension environment used by later expressions —
+// a deliberately flow-insensitive may-analysis that is cheap and, for
+// straight-line unit math, exact.
+func (l *linter) checkDimensions(p *pkg, f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		dc := &dimChecker{l: l, p: p, env: map[*types.Var]dim{}}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				dc.assign(x)
+			case *ast.BinaryExpr:
+				dc.checkBinary(x)
+			case *ast.CallExpr:
+				dc.checkConversion(x)
+			}
+			return true
+		})
+	}
+}
+
+type dimChecker struct {
+	l   *linter
+	p   *pkg
+	env map[*types.Var]dim
+}
+
+// assign records the dimension flowing into each plainly-assigned
+// local, so a stripped unit (`raw := int64(t)`) keeps its dimension.
+func (dc *dimChecker) assign(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return // multi-value call: dimensions unknown
+	}
+	for i, lh := range as.Lhs {
+		id, ok := lh.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		var v *types.Var
+		if d, ok := dc.p.info.Defs[id].(*types.Var); ok {
+			v = d
+		} else if u, ok := dc.p.info.Uses[id].(*types.Var); ok {
+			v = u
+		}
+		if v == nil {
+			continue
+		}
+		if as.Tok == token.ASSIGN || as.Tok == token.DEFINE {
+			dc.env[v] = dc.eval(as.Rhs[i])
+		} else {
+			// compound (+=, *=, ...): keep whatever we knew; the binary
+			// check below sees the operator separately.
+			if _, tracked := dc.env[v]; !tracked {
+				dc.env[v] = dimUnknown
+			}
+		}
+	}
+}
+
+// eval computes the dimension of an expression without reporting;
+// reporting happens once per node in the Inspect walk.
+func (dc *dimChecker) eval(e ast.Expr) dim {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return dc.eval(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.ADD || x.Op == token.SUB {
+			return dc.eval(x.X)
+		}
+	case *ast.BasicLit:
+		return dimNone
+	case *ast.Ident:
+		if v, ok := dc.p.info.Uses[x].(*types.Var); ok {
+			if d, tracked := dc.env[v]; tracked {
+				return d
+			}
+			return identDim(dc.p, x)
+		}
+		return identDim(dc.p, x)
+	case *ast.SelectorExpr:
+		return exprTypeDim(dc.p, e)
+	case *ast.CallExpr:
+		if tv, ok := dc.p.info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			target := typeDim(tv.Type)
+			inner := dc.eval(x.Args[0])
+			if target.isUnit() {
+				return target
+			}
+			// numeric strip (int64(t), float64(t)): dimension survives
+			return inner
+		}
+		return exprTypeDim(dc.p, e)
+	case *ast.BinaryExpr:
+		lt, rt := dc.eval(x.X), dc.eval(x.Y)
+		switch x.Op {
+		case token.ADD, token.SUB, token.REM:
+			if lt.isUnit() {
+				return lt
+			}
+			return rt
+		case token.MUL:
+			if lt.isUnit() && rt.isUnit() {
+				return dimUnknown // product of units: a new physical quantity
+			}
+			if lt.isUnit() {
+				return lt
+			}
+			if rt.isUnit() {
+				return rt
+			}
+			if lt == dimNone && rt == dimNone {
+				return dimNone
+			}
+			return dimUnknown
+		case token.QUO:
+			if lt.isUnit() && lt == rt {
+				return dimNone // ratio of like units is a pure number
+			}
+			if lt.isUnit() && rt.isUnit() {
+				return dimUnknown // cross-unit ratio: a new physical quantity
+			}
+			if lt.isUnit() {
+				return lt
+			}
+			return dimUnknown
+		case token.SHL, token.SHR:
+			return dc.eval(x.X)
+		}
+		return dimUnknown
+	}
+	return exprTypeDim(dc.p, e)
+}
+
+// identDim is the environment-free fallback: the declared type's
+// dimension for unit-typed names, dimensionless for constants of
+// untyped kind, unknown otherwise.
+func identDim(p *pkg, id *ast.Ident) dim {
+	obj := p.info.Uses[id]
+	if obj == nil {
+		obj = p.info.Defs[id]
+	}
+	if obj == nil {
+		return dimUnknown
+	}
+	if d := typeDim(obj.Type()); d.isUnit() {
+		return d
+	}
+	if c, ok := obj.(*types.Const); ok {
+		if b, ok := c.Type().(*types.Basic); ok && b.Info()&types.IsUntyped != 0 {
+			return dimNone
+		}
+	}
+	return dimUnknown
+}
+
+func exprTypeDim(p *pkg, e ast.Expr) dim {
+	if t := p.info.TypeOf(e); t != nil {
+		if d := typeDim(t); d.isUnit() {
+			return d
+		}
+		if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsUntyped != 0 {
+			return dimNone
+		}
+	}
+	return dimUnknown
+}
+
+// checkBinary reports +, -, %, and comparisons whose operands carry
+// two different known dimensions.
+func (dc *dimChecker) checkBinary(be *ast.BinaryExpr) {
+	switch be.Op {
+	case token.ADD, token.SUB, token.REM,
+		token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return
+	}
+	lt, rt := dc.eval(be.X), dc.eval(be.Y)
+	if lt.isUnit() && rt.isUnit() && lt != rt {
+		dc.l.report(sharedFset.Position(be.OpPos), "dimcheck",
+			fmt.Sprintf("%s between %s and %s mixes dimensions; relate the quantities by multiplying/dividing through the linking unit", be.Op, lt, rt))
+	}
+}
+
+// checkConversion reports unit conversions whose operand already
+// carries a different dimension — including one smuggled through an
+// int64()/float64() strip or a tracked local.
+func (dc *dimChecker) checkConversion(call *ast.CallExpr) {
+	tv, ok := dc.p.info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	target := typeDim(tv.Type)
+	if !target.isUnit() {
+		return
+	}
+	inner := dc.eval(call.Args[0])
+	if inner.isUnit() && inner != target {
+		dc.l.report(sharedFset.Position(call.Pos()), "dimcheck",
+			fmt.Sprintf("converts a %s-derived value to %s; a bare cast changes the dimension silently — derive it via the physical relation (ratio or product with the linking unit)", inner, target))
+	}
+}

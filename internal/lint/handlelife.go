@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// handlelife enforces the eventsim.Event handle discipline (see
+// internal/eventsim/eventsim.go): handles are generation-counted
+// values, so the engine never crashes on a stale one — it silently
+// does nothing, which is exactly why losing track of the live handle
+// is a latent bug instead of a loud one. Three shapes are flagged:
+//
+//  1. A method call on (or Cancel of) a handle variable that is never
+//     assigned: the zero handle matches no event, so the call is a
+//     guaranteed no-op and the author almost certainly forgot to
+//     store a schedule result.
+//  2. A schedule call (any call returning eventsim.Event) whose result
+//     is discarded inside a method of a type that tracks a handle
+//     field: the field now holds a stale handle while a new event is
+//     pending, so a later Cancel through the field cannot reach it.
+//  3. A Cancel on a local (non-field) handle with the result ignored:
+//     Cancel reports whether the event was still pending — the
+//     generation-mismatch check. Field-held timers may cancel
+//     unconditionally (the documented idiom); a local handle that
+//     ignores the result is usually a leaked assumption that the
+//     event had not fired yet.
+func (l *linter) checkHandleLife(p *pkg, f *ast.File) {
+	hl := &handleLife{l: l, p: p}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		hl.checkZeroHandles(fd.Body)
+		hl.checkDiscardedSchedules(fd)
+		hl.checkIgnoredCancels(fd.Body)
+	}
+}
+
+type handleLife struct {
+	l *linter
+	p *pkg
+}
+
+func (hl *handleLife) report(pos token.Pos, msg string) {
+	hl.l.report(sharedFset.Position(pos), "handlelife", msg)
+}
+
+// isEventType reports whether t is eventsim.Event (the eventsim.Time
+// alias resolves to units.Time, so only the handle type matches).
+func isEventType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Event" && obj.Pkg() != nil && obj.Pkg().Name() == "eventsim"
+}
+
+// isSimCancel reports whether the call is eventsim.Sim.Cancel.
+func (hl *handleLife) isSimCancel(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 1 {
+		return false
+	}
+	fn, ok := hl.p.info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Cancel" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Sim" && obj.Pkg() != nil && obj.Pkg().Name() == "eventsim"
+}
+
+// checkZeroHandles flags operations on handle variables that are
+// declared but never assigned: two passes, first collecting
+// assignments (flow-insensitively, so a later assignment anywhere in
+// the function clears the variable), then reporting uses.
+func (hl *handleLife) checkZeroHandles(body *ast.BlockStmt) {
+	zero := map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		ds, ok := n.(*ast.DeclStmt)
+		if !ok {
+			return true
+		}
+		gd, ok := ds.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return true
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) > 0 {
+				continue
+			}
+			for _, name := range vs.Names {
+				if v, ok := hl.p.info.Defs[name].(*types.Var); ok && isEventType(v.Type()) {
+					zero[v] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(zero) == 0 {
+		return
+	}
+	clear := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if v, ok := hl.p.info.Uses[id].(*types.Var); ok {
+				delete(zero, v)
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lh := range x.Lhs {
+				clear(lh)
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				clear(x.X) // address taken: may be written through
+			}
+		case *ast.RangeStmt:
+			clear(x.Key)
+			clear(x.Value)
+		}
+		return true
+	})
+	if len(zero) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if hl.isSimCancel(call) {
+			if id, ok := call.Args[0].(*ast.Ident); ok {
+				if v, ok := hl.p.info.Uses[id].(*types.Var); ok && zero[v] {
+					hl.report(id.Pos(), fmt.Sprintf("handle %s is never assigned; Cancel on the zero Event handle is a guaranteed no-op (store a schedule result in it first)", v.Name()))
+				}
+			}
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := hl.p.info.Uses[id].(*types.Var); ok && zero[v] {
+			hl.report(id.Pos(), fmt.Sprintf("handle %s is never assigned; %s on the zero Event handle always returns the zero answer (store a schedule result in it first)", v.Name(), sel.Sel.Name))
+		}
+		return true
+	})
+}
+
+// eventHandleField returns the name of the first eventsim.Event field
+// of the method receiver's base struct type, or "".
+func (hl *handleLife) eventHandleField(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := hl.p.info.TypeOf(fd.Recv.List[0].Type)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isEventType(st.Field(i).Type()) {
+			return st.Field(i).Name()
+		}
+	}
+	return ""
+}
+
+// checkDiscardedSchedules flags statement-position calls that return an
+// Event inside methods of handle-tracking types.
+func (hl *handleLife) checkDiscardedSchedules(fd *ast.FuncDecl) {
+	field := hl.eventHandleField(fd)
+	if field == "" {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if t := hl.p.info.TypeOf(call); t != nil && isEventType(t) {
+			hl.report(call.Pos(), fmt.Sprintf("schedule result discarded while the receiver tracks handle field %q; overwrite the field so the stale handle cannot outlive the event", field))
+		}
+		return true
+	})
+}
+
+// checkIgnoredCancels flags statement-position Sim.Cancel calls on
+// local handles: the bool result is the generation-mismatch check.
+func (hl *handleLife) checkIgnoredCancels(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || !hl.isSimCancel(call) {
+			return true
+		}
+		id, ok := call.Args[0].(*ast.Ident)
+		if !ok {
+			return true // field handles (x.ev) may cancel unconditionally
+		}
+		v, ok := hl.p.info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		hl.report(call.Pos(), fmt.Sprintf("Cancel result ignored for local handle %s; check the returned generation-mismatch bool (or hold the handle in a field, where unconditional cancel is the idiom)", v.Name()))
+		return true
+	})
+}

@@ -1,7 +1,8 @@
 // Package lint implements simlint, the repository's custom static
-// analyzer. It enforces the determinism and unit-safety contract that
-// the simulator's headline guarantee — byte-identical figure output
-// from a seed at any worker count — depends on:
+// analyzer. It enforces the determinism, unit-safety and ownership
+// contract that the simulator's headline guarantees — byte-identical
+// figure output from a seed at any worker count, an allocation-free
+// hot path, and (next) spatial sharding of one scenario — depend on:
 //
 //	nowallclock  no time.Now/time.Since/time.Sleep inside simulation
 //	             packages; wall-clock time belongs to the harness.
@@ -15,14 +16,44 @@
 //	unitliteral  no untyped non-zero numeric literals passed directly
 //	             to parameters typed units.Time/units.Bandwidth/
 //	             units.Bytes; build values from the named constants.
+//	packetown    *netem.Packet pool-ownership dataflow: no use of a
+//	             packet after PacketPool.Put releases it, no function
+//	             that both releases and returns a packet, and no
+//	             retention of packets in struct fields outside the
+//	             owning netem layer.
+//	handlelife   eventsim.Event handle discipline: no method calls on
+//	             never-assigned zero handles, no discarded schedule
+//	             results in types that track a handle field, and no
+//	             ignored Cancel result on local handles.
+//	dimcheck     dimensional analysis: no cross-unit conversions
+//	             (units.Bytes built from a units.Time-derived value)
+//	             and no mixed-unit arithmetic or comparisons smuggled
+//	             through int64()/float64() strips, tracked through
+//	             local assignments.
+//	sharedstate  shard-readiness: no package-level mutable vars in
+//	             simulation packages, no go statements outside the
+//	             approved runner (internal/sim/sweep.go), and no
+//	             writes to captured variables inside closures passed
+//	             to sim.RunSweep/RunAll.
 //
-// A site that is order-free or exact on purpose can be suppressed with
-// an annotation on the offending line or the line above:
+// Test files are analyzed too, with per-rule exemptions: wall-clock
+// reads, map ranges, float equality, bare unit literals and unit
+// strips are legitimate in test harnesses, but ownership, handle,
+// concurrency and global-rand bugs in tests hide real races from the
+// race detector, so noglobalrand, packetown, handlelife and
+// sharedstate stay enforced.
+//
+// A site that is safe on purpose can be suppressed with an annotation
+// on the offending line or the line above; one directive may carry
+// several rules:
 //
 //	//simlint:allow maporder(keys are collected and sorted before use)
+//	//simlint:allow maporder(order-free) floateq(exact sentinel)
 //
-// The reason inside the parentheses is mandatory; an empty reason is
-// itself reported. The analyzer is stdlib-only (go/parser, go/ast,
+// The reason inside the parentheses is mandatory; an empty reason and
+// an unknown rule name are themselves reported. A directive that
+// suppresses nothing is reported as unusedallow, so stale suppressions
+// fail the build. The analyzer is stdlib-only (go/parser, go/ast,
 // go/types with the source importer), keeping the module free of
 // third-party dependencies.
 package lint
@@ -49,6 +80,86 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d: %s: %s", f.File, f.Line, f.Rule, f.Msg)
 }
 
+// ID returns the finding's stable diagnostic ID (for SARIF/JSON
+// consumers that key on IDs rather than rule names).
+func (f Finding) ID() string { return RuleID(f.Rule) }
+
+// ruleInfo describes one rule for machine-readable output and
+// directive validation.
+type ruleInfo struct {
+	// ID is the stable diagnostic identifier; it never changes once
+	// assigned, even if the rule is renamed.
+	ID string
+	// Doc is a one-line description (SARIF shortDescription).
+	Doc string
+	// InTests reports whether the rule is enforced in _test.go files.
+	InTests bool
+}
+
+// ruleTable registers every suppressible rule. The two meta
+// diagnostics — "simlint" (malformed directives) and "unusedallow"
+// (stale directives) — are not suppressible and live outside it.
+var ruleTable = map[string]ruleInfo{
+	"nowallclock":  {ID: "SIM001", Doc: "wall-clock read inside a simulation package", InTests: false},
+	"noglobalrand": {ID: "SIM002", Doc: "math/rand import outside eventsim/rng.go", InTests: true},
+	"maporder":     {ID: "SIM003", Doc: "range over map in a simulation package", InTests: false},
+	"floateq":      {ID: "SIM004", Doc: "floating-point ==/!= in a simulation package", InTests: false},
+	"unitliteral":  {ID: "SIM005", Doc: "untyped literal passed as a units type", InTests: false},
+	"packetown":    {ID: "SIM006", Doc: "packet pool-ownership violation", InTests: true},
+	"handlelife":   {ID: "SIM007", Doc: "event-handle lifetime violation", InTests: true},
+	"dimcheck":     {ID: "SIM008", Doc: "cross-unit conversion or mixed-unit arithmetic", InTests: false},
+	"sharedstate":  {ID: "SIM009", Doc: "shared mutable state unsafe for sharding", InTests: true},
+}
+
+// metaIDs are the IDs of the non-suppressible meta diagnostics.
+var metaIDs = map[string]string{
+	"simlint":     "SIM000",
+	"unusedallow": "SIM010",
+}
+
+// RuleID returns the stable diagnostic ID for a rule name, or "SIM999"
+// for an unknown rule (never emitted by this package).
+func RuleID(rule string) string {
+	if r, ok := ruleTable[rule]; ok {
+		return r.ID
+	}
+	if id, ok := metaIDs[rule]; ok {
+		return id
+	}
+	return "SIM999"
+}
+
+// RuleDoc returns the one-line description of a rule, or "".
+func RuleDoc(rule string) string {
+	if r, ok := ruleTable[rule]; ok {
+		return r.Doc
+	}
+	switch rule {
+	case "simlint":
+		return "malformed simlint:allow directive"
+	case "unusedallow":
+		return "simlint:allow directive that suppresses nothing"
+	}
+	return ""
+}
+
+// Rules returns every diagnostic name this package can emit, sorted.
+func Rules() []string {
+	out := make([]string, 0, len(ruleTable)+len(metaIDs))
+	for r := range ruleTable {
+		out = append(out, r)
+	}
+	for r := range metaIDs {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// enforcedInTests reports whether findings of the rule are produced in
+// _test.go files.
+func enforcedInTests(rule string) bool { return ruleTable[rule].InTests }
+
 // simPackages names the directories under internal/ whose code runs
 // inside simulations and must therefore be deterministic. Everything
 // else (internal/sim, internal/experiments, cmd/, examples/) is
@@ -71,17 +182,38 @@ func isSimPackage(importPath string) bool {
 	return segs[len(segs)-2] == "internal" && simPackages[segs[len(segs)-1]]
 }
 
-// allowRe matches one suppression directive. Rule names are lowercase
-// identifiers; the reason may not contain a closing parenthesis.
-var allowRe = regexp.MustCompile(`simlint:allow\s+([a-z]+)\(([^)]*)\)`)
+// allowRe locates the start of one suppression directive; the
+// rule(reason) groups that follow are parsed by allowGroupRe so a
+// single directive can carry several rules. A directive must start
+// its comment (`//simlint:allow ...`), which keeps doc-comment
+// examples of the syntax — indented or mid-sentence — from being
+// parsed as real (and then stale) suppressions.
+var allowRe = regexp.MustCompile(`^//simlint:allow\s+`)
+
+// allowGroupRe matches one rule(reason) group. Rule names are
+// lowercase identifiers; the reason may not contain a closing
+// parenthesis.
+var allowGroupRe = regexp.MustCompile(`^([a-z]+)\(([^)]*)\)\s*`)
+
+// directive is one parsed rule(reason) suppression group. used flips
+// when the directive suppresses a finding; directives that never fire
+// are themselves reported (unusedallow), so suppressions cannot go
+// stale silently.
+type directive struct {
+	file string
+	line int // line the directive text is on
+	rule string
+	used bool
+}
 
 // linter carries the state of one Run.
 type linter struct {
 	root     string
 	findings []Finding
-	// allowed maps file -> line -> rule -> true for suppression
-	// directives in effect on that line.
-	allowed map[string]map[int]map[string]bool
+	// allowed maps file -> line -> rule -> the directive in effect on
+	// that line.
+	allowed    map[string]map[int]map[string]*directive
+	directives []*directive
 }
 
 // Run lints the Go module rooted at root and returns all findings,
@@ -95,7 +227,7 @@ func Run(root string) ([]Finding, error) {
 	if err != nil {
 		return nil, err
 	}
-	l := &linter{root: absRoot, allowed: make(map[string]map[int]map[string]bool)}
+	l := &linter{root: absRoot, allowed: make(map[string]map[int]map[string]*directive)}
 	for _, p := range pkgs {
 		for _, f := range p.files {
 			l.collectAllows(f)
@@ -103,6 +235,14 @@ func Run(root string) ([]Finding, error) {
 	}
 	for _, p := range pkgs {
 		l.checkPackage(p)
+	}
+	for _, d := range l.directives {
+		if !d.used {
+			l.findings = append(l.findings, Finding{
+				File: d.file, Line: d.line, Rule: "unusedallow",
+				Msg: fmt.Sprintf("suppression for %q matches no finding; delete the stale directive", d.rule),
+			})
+		}
 	}
 	sort.Slice(l.findings, func(i, j int) bool {
 		a, b := l.findings[i], l.findings[j]
@@ -131,37 +271,62 @@ func (l *linter) relFile(pos token.Position) string {
 
 // collectAllows records every suppression directive in the file. A
 // directive covers its own line (end-of-line comment) and the next line
-// (comment above the statement).
+// (comment above the statement). One directive may carry several
+// rule(reason) groups; unknown rule names and empty reasons are
+// reported rather than silently suppressing nothing.
 func (l *linter) collectAllows(f *ast.File) {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			for _, m := range allowRe.FindAllStringSubmatch(c.Text, -1) {
-				rule, reason := m[1], strings.TrimSpace(m[2])
+			for _, loc := range allowRe.FindAllStringIndex(c.Text, -1) {
+				rest := c.Text[loc[1]:]
 				pos := sharedFset.Position(c.Pos())
 				file := l.relFile(pos)
-				if reason == "" {
-					l.report(pos, "simlint", fmt.Sprintf("allow directive for %q needs a non-empty reason", rule))
-					continue
-				}
-				if l.allowed[file] == nil {
-					l.allowed[file] = make(map[int]map[string]bool)
-				}
-				for _, line := range []int{pos.Line, pos.Line + 1} {
-					if l.allowed[file][line] == nil {
-						l.allowed[file][line] = make(map[string]bool)
+				groups := 0
+				for {
+					m := allowGroupRe.FindStringSubmatch(rest)
+					if m == nil {
+						break
 					}
-					l.allowed[file][line][rule] = true
+					rest = rest[len(m[0]):]
+					groups++
+					rule, reason := m[1], strings.TrimSpace(m[2])
+					if _, known := ruleTable[rule]; !known {
+						l.report(pos, "simlint", fmt.Sprintf("allow directive names unknown rule %q (known: %s)", rule, strings.Join(Rules(), ", ")))
+						continue
+					}
+					if reason == "" {
+						l.report(pos, "simlint", fmt.Sprintf("allow directive for %q needs a non-empty reason", rule))
+						continue
+					}
+					d := &directive{file: file, line: pos.Line, rule: rule}
+					l.directives = append(l.directives, d)
+					if l.allowed[file] == nil {
+						l.allowed[file] = make(map[int]map[string]*directive)
+					}
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						if l.allowed[file][line] == nil {
+							l.allowed[file][line] = make(map[string]*directive)
+						}
+						l.allowed[file][line][rule] = d
+					}
+				}
+				if groups == 0 {
+					l.report(pos, "simlint", "malformed allow directive: expected one or more rule(reason) groups after simlint:allow")
 				}
 			}
 		}
 	}
 }
 
-// report adds a finding unless an allow directive suppresses it.
+// report adds a finding unless an allow directive suppresses it. The
+// meta diagnostics ("simlint", "unusedallow") are not suppressible.
 func (l *linter) report(pos token.Position, rule, msg string) {
 	file := l.relFile(pos)
-	if rule != "simlint" && l.allowed[file][pos.Line][rule] {
-		return
+	if _, suppressible := ruleTable[rule]; suppressible {
+		if d := l.allowed[file][pos.Line][rule]; d != nil {
+			d.used = true
+			return
+		}
 	}
 	l.findings = append(l.findings, Finding{File: file, Line: pos.Line, Rule: rule, Msg: msg})
 }

@@ -68,7 +68,11 @@ func runLint(t *testing.T, root string) []string {
 // negative (ok.go, harness files) fixtures: the findings must match the
 // //WANT markers exactly — no extra findings, none missing.
 func TestFixtures(t *testing.T) {
-	fixtures := []string{"nowallclock", "noglobalrand", "maporder", "floateq", "unitliteral"}
+	fixtures := []string{
+		"nowallclock", "noglobalrand", "maporder", "floateq", "unitliteral",
+		"packetown", "handlelife", "dimcheck", "sharedstate",
+		"directives", "testfiles",
+	}
 	for _, fix := range fixtures {
 		t.Run(fix, func(t *testing.T) {
 			root := filepath.Join("testdata", fix)
@@ -93,9 +97,10 @@ func TestRepoIsClean(t *testing.T) {
 	}
 }
 
-// copyModule copies go.mod and every non-test .go file of the module at
-// src into dst, preserving the directory layout and skipping testdata
-// (the fixtures are separate modules).
+// copyModule copies go.mod and every .go file of the module at src
+// into dst — test files included, since they are linted too —
+// preserving the directory layout and skipping testdata (the fixtures
+// are separate modules).
 func copyModule(t *testing.T, src, dst string) {
 	t.Helper()
 	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
@@ -109,7 +114,7 @@ func copyModule(t *testing.T, src, dst string) {
 			}
 			return nil
 		}
-		if name != "go.mod" && (!strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go")) {
+		if name != "go.mod" && !strings.HasSuffix(name, ".go") {
 			return nil
 		}
 		rel, err := filepath.Rel(src, path)
@@ -131,8 +136,12 @@ func copyModule(t *testing.T, src, dst string) {
 	}
 }
 
-// repoAnnotations lists every suppression directive in the repository
-// as (relative file, matched directive text, rule).
+// repoAnnotations lists every suppression group in the repository —
+// test files included, since they are linted too — as (relative file,
+// removal text, rule). For a single-group directive the removal text
+// is the whole directive; for a multi-rule directive it is just the
+// one rule(reason) group, so deleting it leaves the other groups
+// intact.
 func repoAnnotations(t *testing.T, root string) (files []string, texts []string, rules []string) {
 	t.Helper()
 	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
@@ -146,7 +155,7 @@ func repoAnnotations(t *testing.T, root string) (files []string, texts []string,
 			}
 			return nil
 		}
-		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+		if !strings.HasSuffix(name, ".go") {
 			return nil
 		}
 		rel, err := filepath.Rel(root, path)
@@ -154,8 +163,8 @@ func repoAnnotations(t *testing.T, root string) (files []string, texts []string,
 			return err
 		}
 		// The linter's own sources and the simlint command mention the
-		// directive syntax in doc comments and diagnostic messages;
-		// those are not suppressions of anything.
+		// directive syntax in doc comments, diagnostic messages and this
+		// very function; those are not suppressions of anything.
 		if strings.HasPrefix(filepath.ToSlash(rel), "internal/lint/") || strings.HasPrefix(filepath.ToSlash(rel), "cmd/simlint/") {
 			return nil
 		}
@@ -163,10 +172,40 @@ func repoAnnotations(t *testing.T, root string) (files []string, texts []string,
 		if err != nil {
 			return err
 		}
-		for _, m := range allowRe.FindAllStringSubmatch(string(data), -1) {
-			files = append(files, rel)
-			texts = append(texts, m[0])
-			rules = append(rules, m[1])
+		for _, line := range strings.Split(string(data), "\n") {
+			idx := strings.Index(line, "//simlint:")
+			if idx < 0 {
+				continue
+			}
+			comment := line[idx:]
+			loc := allowRe.FindStringIndex(comment)
+			if loc == nil {
+				continue
+			}
+			// Walk the rule(reason) groups, recording each one's extent.
+			type group struct {
+				start, end int
+				rule       string
+			}
+			var groups []group
+			off := loc[1]
+			for {
+				m := allowGroupRe.FindStringSubmatch(comment[off:])
+				if m == nil {
+					break
+				}
+				groups = append(groups, group{start: off, end: off + len(m[0]), rule: m[1]})
+				off += len(m[0])
+			}
+			for _, g := range groups {
+				files = append(files, rel)
+				rules = append(rules, g.rule)
+				if len(groups) == 1 {
+					texts = append(texts, comment[:g.end])
+				} else {
+					texts = append(texts, comment[g.start:g.end])
+				}
+			}
 		}
 		return nil
 	})
@@ -256,4 +295,67 @@ func wallClock() int64 { return time.Now().UnixNano() }
 		}
 	}
 	t.Errorf("time.Now in internal/netem went undetected; findings: %v", findings)
+}
+
+// TestCleanFixtures covers loader edge cases that must produce zero
+// findings: build-tag- and GOOS-excluded files are invisible, a module
+// with no simulation packages loads fine, and a nested testdata tree
+// is another module's fixture, not ours.
+func TestCleanFixtures(t *testing.T) {
+	for _, fix := range []string{"buildtags", "nosim", "nestedtestdata"} {
+		t.Run(fix, func(t *testing.T) {
+			got := runLint(t, filepath.Join("testdata", fix))
+			if len(got) != 0 {
+				t.Errorf("expected no findings, got:\n%s", strings.Join(got, "\n"))
+			}
+		})
+	}
+}
+
+// TestRuleRegistry pins the stable diagnostic IDs: SARIF/JSON consumers
+// key on them, so changing one is a breaking change.
+func TestRuleRegistry(t *testing.T) {
+	want := map[string]string{
+		"simlint":      "SIM000",
+		"nowallclock":  "SIM001",
+		"noglobalrand": "SIM002",
+		"maporder":     "SIM003",
+		"floateq":      "SIM004",
+		"unitliteral":  "SIM005",
+		"packetown":    "SIM006",
+		"handlelife":   "SIM007",
+		"dimcheck":     "SIM008",
+		"sharedstate":  "SIM009",
+		"unusedallow":  "SIM010",
+	}
+	rules := Rules()
+	if len(rules) != len(want) {
+		t.Fatalf("Rules() returned %d rules, want %d: %v", len(rules), len(want), rules)
+	}
+	for rule, id := range want {
+		if got := RuleID(rule); got != id {
+			t.Errorf("RuleID(%s) = %s, want %s", rule, got, id)
+		}
+		if RuleDoc(rule) == "" {
+			t.Errorf("RuleDoc(%s) is empty", rule)
+		}
+	}
+	if got := RuleID("nosuchrule"); got != "SIM999" {
+		t.Errorf("RuleID(nosuchrule) = %s, want SIM999", got)
+	}
+}
+
+// BenchmarkSimlint tracks the analyzer's wall clock over the whole
+// repository (all nine rules, test files included); `make bench`
+// records it in BENCH_7.json.
+func BenchmarkSimlint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		findings, err := Run("../..")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(findings) != 0 {
+			b.Fatalf("repository not clean: %v", findings)
+		}
+	}
 }

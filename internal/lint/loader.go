@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -14,11 +15,19 @@ import (
 )
 
 // pkg is one loaded-and-type-checked package of the module under lint.
+//
+// Test files are loaded as separate pkg values (test=true) so the
+// per-rule test exemptions can apply: an in-package test pkg carries
+// the base files in allFiles (the type checker needs them) but only
+// the _test.go files in files (what the analyzers visit), and an
+// external _test package carries just its own files in both.
 type pkg struct {
-	path  string // import path, e.g. "tlb/internal/core"
-	dir   string // absolute directory
-	files []*ast.File
-	info  *types.Info
+	path     string      // import path, e.g. "tlb/internal/core"
+	dir      string      // absolute directory
+	files    []*ast.File // files the analyzers run over
+	allFiles []*ast.File // files the type checker saw (files plus, for in-package tests, the base files)
+	info     *types.Info
+	test     bool // _test.go variant: per-rule exemptions apply
 }
 
 // The file set and stdlib importer are shared across Run calls so that
@@ -64,10 +73,24 @@ func modulePath(root string) (string, error) {
 	return "", fmt.Errorf("lint: no module line in %s/go.mod", root)
 }
 
-// loadModule parses and type-checks every non-test package under root.
-// Test files are excluded: the determinism contract governs the code
-// that runs inside simulations, and fixtures under testdata are other
-// modules entirely.
+// matchFile reports whether the build system would include the file on
+// the host platform: files excluded by //go:build (or // +build)
+// constraints, or by _GOOS/_GOARCH filename suffixes, are invisible to
+// the compiler and must be invisible to the linter too — they may not
+// even type-check against the loaded platform.
+func matchFile(dir, name string) (bool, error) {
+	ok, err := build.Default.MatchFile(dir, name)
+	if err != nil {
+		return false, fmt.Errorf("lint: build constraints of %s: %w", filepath.Join(dir, name), err)
+	}
+	return ok, nil
+}
+
+// loadModule parses and type-checks every package under root, then
+// loads each directory's _test.go files in a second pass: in-package
+// test files are type-checked together with their base files, external
+// _test packages on their own. Fixture modules under testdata stay
+// excluded — they are other modules entirely.
 func loadModule(root string) ([]*pkg, error) {
 	absRoot, err := filepath.Abs(root)
 	if err != nil {
@@ -78,7 +101,8 @@ func loadModule(root string) ([]*pkg, error) {
 		return nil, err
 	}
 
-	// Discover package directories.
+	// Discover package directories (any dir with a buildable .go file,
+	// test-only directories included).
 	var dirs []string
 	err = filepath.WalkDir(absRoot, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -107,7 +131,9 @@ func loadModule(root string) ([]*pkg, error) {
 
 	// Parse.
 	byPath := make(map[string]*pkg, len(dirs))
-	imports := make(map[string][]string, len(dirs)) // module-internal deps
+	testFiles := make(map[string][]*ast.File, len(dirs)) // ipath -> parsed _test.go files
+	imports := make(map[string][]string, len(dirs))      // module-internal deps
+	var order []string                                   // ipaths with test files, in dir order
 	for _, dir := range dirs {
 		rel, err := filepath.Rel(absRoot, dir)
 		if err != nil {
@@ -122,14 +148,25 @@ func loadModule(root string) ([]*pkg, error) {
 		if err != nil {
 			return nil, err
 		}
+		sawTests := false
 		for _, e := range entries {
 			name := e.Name()
-			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			if e.IsDir() || !strings.HasSuffix(name, ".go") {
+				continue
+			}
+			if ok, err := matchFile(dir, name); err != nil {
+				return nil, err
+			} else if !ok {
 				continue
 			}
 			f, err := parser.ParseFile(sharedFset, filepath.Join(dir, name), nil, parser.ParseComments)
 			if err != nil {
 				return nil, err
+			}
+			if strings.HasSuffix(name, "_test.go") {
+				testFiles[ipath] = append(testFiles[ipath], f)
+				sawTests = true
+				continue
 			}
 			p.files = append(p.files, f)
 			for _, imp := range f.Imports {
@@ -140,12 +177,16 @@ func loadModule(root string) ([]*pkg, error) {
 			}
 		}
 		if len(p.files) > 0 {
+			p.allFiles = p.files
 			byPath[ipath] = p
+		}
+		if sawTests {
+			order = append(order, ipath)
 		}
 	}
 
 	// Topological order over module-internal imports.
-	order, err := topoSort(byPath, imports)
+	topo, err := topoSort(byPath, imports)
 	if err != nil {
 		return nil, err
 	}
@@ -153,14 +194,9 @@ func loadModule(root string) ([]*pkg, error) {
 	// Type-check in dependency order.
 	imp := &moduleImporter{modpath: modpath, pkgs: make(map[string]*types.Package)}
 	var out []*pkg
-	for _, ipath := range order {
+	for _, ipath := range topo {
 		p := byPath[ipath]
-		p.info = &types.Info{
-			Types:      make(map[ast.Expr]types.TypeAndValue),
-			Defs:       make(map[*ast.Ident]types.Object),
-			Uses:       make(map[*ast.Ident]types.Object),
-			Selections: make(map[*ast.SelectorExpr]*types.Selection),
-		}
+		p.info = newInfo()
 		conf := types.Config{Importer: imp}
 		tpkg, err := conf.Check(ipath, sharedFset, p.files, p.info)
 		if err != nil {
@@ -169,7 +205,57 @@ func loadModule(root string) ([]*pkg, error) {
 		imp.pkgs[ipath] = tpkg
 		out = append(out, p)
 	}
+
+	// Second pass: test packages. Every non-test package is loaded by
+	// now, so test files may import anything in the module.
+	for _, ipath := range order {
+		base := byPath[ipath]
+		var inPkg, external []*ast.File
+		baseName := ""
+		if base != nil && len(base.files) > 0 {
+			baseName = base.files[0].Name.Name
+		}
+		for _, f := range testFiles[ipath] {
+			if baseName != "" && f.Name.Name == baseName+"_test" {
+				external = append(external, f)
+			} else {
+				inPkg = append(inPkg, f)
+			}
+		}
+		dir := filepath.Dir(sharedFset.Position(testFiles[ipath][0].Pos()).Filename)
+		if len(inPkg) > 0 {
+			tp := &pkg{path: ipath, dir: dir, files: inPkg, test: true}
+			tp.allFiles = inPkg
+			if base != nil {
+				tp.allFiles = append(append([]*ast.File(nil), base.files...), inPkg...)
+			}
+			tp.info = newInfo()
+			conf := types.Config{Importer: imp}
+			if _, err := conf.Check(ipath, sharedFset, tp.allFiles, tp.info); err != nil {
+				return nil, fmt.Errorf("lint: type-checking %s tests: %w", ipath, err)
+			}
+			out = append(out, tp)
+		}
+		if len(external) > 0 {
+			tp := &pkg{path: ipath + "_test", dir: dir, files: external, allFiles: external, test: true}
+			tp.info = newInfo()
+			conf := types.Config{Importer: imp}
+			if _, err := conf.Check(ipath+"_test", sharedFset, external, tp.info); err != nil {
+				return nil, fmt.Errorf("lint: type-checking %s: %w", ipath+"_test", err)
+			}
+			out = append(out, tp)
+		}
+	}
 	return out, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
 }
 
 func dirHasGoFiles(dir string) (bool, error) {
@@ -178,7 +264,7 @@ func dirHasGoFiles(dir string) (bool, error) {
 		return false, err
 	}
 	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
 			return true, nil
 		}
 	}

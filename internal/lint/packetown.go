@@ -1,0 +1,417 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// packetown enforces the PacketPool ownership contract (see
+// internal/netem/pool.go): a *netem.Packet released with
+// PacketPool.Put belongs to the pool again and may be handed to the
+// next Get at any moment, so after a Put the releasing function must
+// not read it, write its fields, insert it into a container, pass it
+// on, release it again, or return it. Retaining packets in struct
+// fields is the other half of the contract: only the netem layer
+// (pool free list, port queues) owns in-flight packets; every other
+// component copies out the fields it needs.
+//
+// The dataflow is intra-procedural and path-sensitive enough for the
+// code shapes this repository uses: a Put inside a branch only
+// poisons the code after the branch if the branch can fall through
+// (its body does not end in return/panic/break/continue), and
+// reassigning the variable (p = pool.Get()) resurrects it. Closures
+// are analyzed as independent function bodies.
+
+// checkPacketOwn runs the ownership analysis over one file.
+func (l *linter) checkPacketOwn(p *pkg, f *ast.File) {
+	po := &packetOwn{l: l, p: p}
+	inNetem := f.Name.Name == "netem"
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.GenDecl:
+			if d.Tok != token.TYPE || inNetem {
+				continue
+			}
+			for _, spec := range d.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				po.checkFields(ts.Name.Name, st)
+			}
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				po.analyzeFunc(d.Body)
+			}
+		}
+	}
+}
+
+type packetOwn struct {
+	l *linter
+	p *pkg
+}
+
+func (po *packetOwn) report(pos token.Pos, msg string) {
+	po.l.report(sharedFset.Position(pos), "packetown", msg)
+}
+
+// checkFields flags struct fields that retain packets outside netem.
+func (po *packetOwn) checkFields(typeName string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		t := po.p.info.TypeOf(field.Type)
+		if t == nil || !typeContainsPacket(t) {
+			continue
+		}
+		name := "embedded field"
+		pos := field.Type.Pos()
+		if len(field.Names) > 0 {
+			name = field.Names[0].Name
+			pos = field.Names[0].Pos()
+		}
+		po.report(pos, fmt.Sprintf("struct field %s.%s retains *netem.Packet; packets are pool-owned and only the netem layer may hold them (copy the fields you need instead)", typeName, name))
+	}
+}
+
+// analyzeFunc runs the released-set dataflow over one function body,
+// then recurses into every function literal as its own root.
+func (po *packetOwn) analyzeFunc(body *ast.BlockStmt) {
+	po.scanStmts(body.List, map[*types.Var]token.Pos{})
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			po.scanStmts(lit.Body.List, map[*types.Var]token.Pos{})
+			// Nested literals are found by the recursive Inspect below.
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if inner, ok := m.(*ast.FuncLit); ok && inner != lit {
+					po.scanStmts(inner.Body.List, map[*types.Var]token.Pos{})
+					return false
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+}
+
+// identPacketVar resolves an expression to the packet-typed variable it
+// names, or nil.
+func (po *packetOwn) identPacketVar(e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := po.p.info.Uses[id].(*types.Var)
+	if !ok || !isPacketPtr(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// putArg returns the argument of a PacketPool.Put call, or nil.
+func (po *packetOwn) putArg(call *ast.CallExpr) ast.Expr {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil
+	}
+	fn, ok := po.p.info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Put" {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	rt := sig.Recv().Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Name() != "PacketPool" || obj.Pkg() == nil || obj.Pkg().Name() != "netem" {
+		return nil
+	}
+	return call.Args[0]
+}
+
+// line formats the source line of a position for messages.
+func (po *packetOwn) line(pos token.Pos) int { return sharedFset.Position(pos).Line }
+
+// scanExpr visits an expression, reporting uses of released packets and
+// recording new releases. Function literals are skipped (they are
+// analyzed as independent roots by analyzeFunc).
+func (po *packetOwn) scanExpr(e ast.Expr, rel map[*types.Var]token.Pos) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			arg := po.putArg(x)
+			if arg == nil {
+				return true
+			}
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				po.scanExpr(sel.X, rel)
+			}
+			if v := po.identPacketVar(arg); v != nil {
+				if first, dead := rel[v]; dead {
+					po.report(arg.Pos(), fmt.Sprintf("packet %s released to the pool twice (first Put at line %d); double release always panics", v.Name(), po.line(first)))
+				} else {
+					rel[v] = arg.Pos()
+				}
+			} else {
+				po.scanExpr(arg, rel)
+			}
+			return false
+		case *ast.Ident:
+			if v, ok := po.p.info.Uses[x].(*types.Var); ok {
+				if put, dead := rel[v]; dead {
+					po.report(x.Pos(), fmt.Sprintf("packet %s used after PacketPool.Put released it (Put at line %d); the pool may already have recycled it", v.Name(), po.line(put)))
+					delete(rel, v) // one report per release, not a cascade
+				}
+			}
+		}
+		return true
+	})
+}
+
+// scanStmts runs the dataflow over a statement list in order.
+func (po *packetOwn) scanStmts(stmts []ast.Stmt, rel map[*types.Var]token.Pos) {
+	for _, s := range stmts {
+		po.scanStmt(s, rel)
+	}
+}
+
+func copyRel(rel map[*types.Var]token.Pos) map[*types.Var]token.Pos {
+	out := make(map[*types.Var]token.Pos, len(rel))
+	for k, v := range rel {
+		out[k] = v
+	}
+	return out
+}
+
+func mergeRel(dst, src map[*types.Var]token.Pos) {
+	for k, v := range src {
+		if _, ok := dst[k]; !ok {
+			dst[k] = v
+		}
+	}
+}
+
+func (po *packetOwn) scanStmt(s ast.Stmt, rel map[*types.Var]token.Pos) {
+	switch x := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		po.scanExpr(x.X, rel)
+	case *ast.SendStmt:
+		po.scanExpr(x.Chan, rel)
+		po.scanExpr(x.Value, rel)
+	case *ast.IncDecStmt:
+		po.scanExpr(x.X, rel)
+	case *ast.AssignStmt:
+		for _, r := range x.Rhs {
+			po.scanExpr(r, rel)
+		}
+		for _, lh := range x.Lhs {
+			if id, ok := lh.(*ast.Ident); ok {
+				// Whole-variable (re)assignment resurrects the variable:
+				// it now names a different packet (or nothing).
+				if v, ok := po.p.info.Defs[id].(*types.Var); ok {
+					delete(rel, v)
+				} else if v, ok := po.p.info.Uses[id].(*types.Var); ok {
+					delete(rel, v)
+				}
+				continue
+			}
+			// A store through the variable (p.Field = ..., m[p] = ...)
+			// is a use of it.
+			po.scanExpr(lh, rel)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, val := range vs.Values {
+						po.scanExpr(val, rel)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			if v := po.identPacketVar(r); v != nil {
+				if put, dead := rel[v]; dead {
+					po.report(r.Pos(), fmt.Sprintf("function releases packet %s (Put at line %d) and then returns it; a released packet must not escape", v.Name(), po.line(put)))
+					delete(rel, v)
+					continue
+				}
+			}
+			po.scanExpr(r, rel)
+		}
+	case *ast.DeferStmt:
+		po.scanExpr(x.Call, rel)
+	case *ast.GoStmt:
+		po.scanExpr(x.Call, rel)
+	case *ast.BlockStmt:
+		po.scanStmts(x.List, rel)
+	case *ast.IfStmt:
+		po.scanStmt(x.Init, rel)
+		po.scanExpr(x.Cond, rel)
+		then := copyRel(rel)
+		po.scanStmts(x.Body.List, then)
+		if !terminates(x.Body.List) {
+			mergeRel(rel, then)
+		}
+		if x.Else != nil {
+			els := copyRel(rel)
+			po.scanStmt(x.Else, els)
+			if !stmtTerminates(x.Else) {
+				mergeRel(rel, els)
+			}
+		}
+	case *ast.ForStmt:
+		po.scanStmt(x.Init, rel)
+		po.scanExpr(x.Cond, rel)
+		body := copyRel(rel)
+		po.scanStmts(x.Body.List, body)
+		po.scanStmt(x.Post, body)
+		if !terminates(x.Body.List) {
+			mergeRel(rel, body)
+		}
+	case *ast.RangeStmt:
+		po.scanExpr(x.X, rel)
+		body := copyRel(rel)
+		po.scanStmts(x.Body.List, body)
+		if !terminates(x.Body.List) {
+			mergeRel(rel, body)
+		}
+	case *ast.SwitchStmt:
+		po.scanStmt(x.Init, rel)
+		po.scanExpr(x.Tag, rel)
+		for _, c := range x.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, e := range cc.List {
+				po.scanExpr(e, rel)
+			}
+			body := copyRel(rel)
+			po.scanStmts(cc.Body, body)
+			if !terminates(cc.Body) {
+				mergeRel(rel, body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		po.scanStmt(x.Init, rel)
+		po.scanStmt(x.Assign, rel)
+		for _, c := range x.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			body := copyRel(rel)
+			po.scanStmts(cc.Body, body)
+			if !terminates(cc.Body) {
+				mergeRel(rel, body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range x.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			body := copyRel(rel)
+			po.scanStmt(cc.Comm, body)
+			po.scanStmts(cc.Body, body)
+			if !terminates(cc.Body) {
+				mergeRel(rel, body)
+			}
+		}
+	case *ast.LabeledStmt:
+		po.scanStmt(x.Stmt, rel)
+	}
+}
+
+// terminates reports whether a statement list always transfers control
+// away from the code after it (return, panic, or a branch out).
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	return stmtTerminates(stmts[len(stmts)-1])
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch x := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := x.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(x.List)
+	case *ast.IfStmt:
+		if x.Else == nil {
+			return false
+		}
+		return terminates(x.Body.List) && stmtTerminates(x.Else)
+	case *ast.LabeledStmt:
+		return stmtTerminates(x.Stmt)
+	}
+	return false
+}
+
+// isPacketPtr reports whether t is *netem.Packet.
+func isPacketPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return isPacketNamed(ptr.Elem())
+}
+
+func isPacketNamed(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Packet" && obj.Pkg() != nil && obj.Pkg().Name() == "netem"
+}
+
+// typeContainsPacket reports whether a field of this type can retain a
+// packet: a (pointer to) Packet, or any container of one.
+func typeContainsPacket(t types.Type) bool {
+	switch x := t.(type) {
+	case *types.Pointer:
+		return typeContainsPacket(x.Elem())
+	case *types.Slice:
+		return typeContainsPacket(x.Elem())
+	case *types.Array:
+		return typeContainsPacket(x.Elem())
+	case *types.Map:
+		return typeContainsPacket(x.Key()) || typeContainsPacket(x.Elem())
+	case *types.Chan:
+		return typeContainsPacket(x.Elem())
+	case *types.Named:
+		return isPacketNamed(x)
+	}
+	return false
+}

@@ -1,0 +1,34 @@
+// Package model demonstrates the dimcheck rule: the named unit types
+// stop mixed-dimension math until an int64()/float64() cast strips the
+// unit — the analyzer tracks the dimension through the strip.
+package model
+
+import "fixture/internal/units"
+
+func directCrossWrap(t units.Time) units.Bytes {
+	return units.Bytes(t) //WANT dimcheck
+}
+
+func smuggledThroughStrip(t units.Time) units.Bytes {
+	raw := int64(t)
+	return units.Bytes(raw) //WANT dimcheck
+}
+
+func smuggledThroughFloat(bw units.Bandwidth) units.Time {
+	x := float64(bw)
+	return units.Time(x) //WANT dimcheck
+}
+
+func mixedComparison(t units.Time, b units.Bytes) bool {
+	return int64(t) > int64(b) //WANT dimcheck
+}
+
+func mixedDifference(t units.Time, b units.Bytes) int64 {
+	return int64(t) - int64(b) //WANT dimcheck
+}
+
+func mixedThroughLocals(t units.Time, b units.Bytes) bool {
+	elapsed := int64(t)
+	size := int64(b)
+	return elapsed == size //WANT dimcheck
+}

@@ -1,0 +1,39 @@
+package model
+
+import "fixture/internal/units"
+
+// serialization time = size / bandwidth: a cross-unit ratio is a new
+// physical quantity and may be wrapped in its proper unit.
+func serialize(b units.Bytes, bw units.Bandwidth) units.Time {
+	return units.Time(int64(b) * 8 * int64(units.Second) / int64(bw))
+}
+
+// scalar scaling keeps the dimension.
+func backoff(rto units.Time, attempt int) units.Time {
+	scaled := rto
+	for i := 0; i < attempt; i++ {
+		scaled = 2 * scaled
+	}
+	return scaled
+}
+
+// like-unit ratio is a pure number and may scale another unit.
+func proportional(part, whole units.Time, budget units.Bytes) units.Bytes {
+	frac := float64(part) / float64(whole)
+	return units.Bytes(frac * float64(budget))
+}
+
+// wrapping a dimensionless count is fine.
+func fromCount(n int) units.Bytes {
+	return units.Bytes(n)
+}
+
+// same-unit arithmetic, stripped or not, is fine.
+func slack(deadline, now units.Time) int64 {
+	return int64(deadline) - int64(now)
+}
+
+func annotatedReinterpret(t units.Time) units.Bytes {
+	//simlint:allow dimcheck(wire format reinterprets the timestamp field as a byte count)
+	return units.Bytes(t)
+}

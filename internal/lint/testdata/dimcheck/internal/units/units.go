@@ -1,0 +1,22 @@
+// Package units mirrors the real module's unit types for the dimcheck
+// fixtures. The analyzer skips this package itself: conversions inside
+// the units layer are how the types are defined.
+package units
+
+type Time int64
+
+type Bandwidth int64
+
+type Bytes int64
+
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Second      Time = 1000 * 1000 * Microsecond
+
+	BitPerSecond Bandwidth = 1
+	Gbps                   = 1000 * 1000 * 1000 * BitPerSecond
+
+	Byte Bytes = 1
+	KiB        = 1024 * Byte
+)

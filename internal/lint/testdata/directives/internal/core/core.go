@@ -1,0 +1,29 @@
+// Package core exercises the directive parser: multi-rule groups,
+// unknown rules, empty reasons, malformed directives and stale
+// suppressions.
+package core
+
+func boolToInt(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// one directive, two rules, both load-bearing: no findings at all.
+func countSentinels(m map[string]float64, sentinel float64) int {
+	n := 0
+	//simlint:allow maporder(order-free: the loop only counts matches) floateq(sentinel is copied verbatim, exact match intended)
+	for _, v := range m { n += boolToInt(v == sentinel) }
+	return n
+}
+
+//simlint:allow nosuchrule(the rule name is wrong) //WANT simlint
+
+//simlint:allow maporder() //WANT simlint
+
+//simlint:allow this is not a rule group //WANT simlint
+
+//simlint:allow maporder(stale: the loop below was rewritten to sorted keys long ago) //WANT unusedallow
+
+func sorted(keys []string) []string { return keys }

@@ -1,0 +1,35 @@
+// Package core demonstrates the handlelife rule: zero handles, lost
+// schedule results, and ignored Cancel outcomes.
+package core
+
+import "fixture/internal/eventsim"
+
+func zeroHandleQueried(s *eventsim.Sim) bool {
+	var h eventsim.Event
+	return h.Scheduled() //WANT handlelife
+}
+
+func zeroHandleCancelled(s *eventsim.Sim) {
+	var c eventsim.Event
+	_ = s.Cancel(c) //WANT handlelife
+}
+
+// ticker tracks a handle field, so a discarded schedule result leaves
+// the field stale while a new event is pending.
+type ticker struct {
+	ev eventsim.Event
+}
+
+func (t *ticker) arm(s *eventsim.Sim) {
+	s.At(5, func() {}) //WANT handlelife
+}
+
+func (t *ticker) rearm(s *eventsim.Sim) {
+	s.Cancel(t.ev)
+	s.After(10, func() {}) //WANT handlelife
+}
+
+func cancelResultIgnored(s *eventsim.Sim) {
+	h := s.At(5, func() {})
+	s.Cancel(h) //WANT handlelife
+}

@@ -1,0 +1,47 @@
+package core
+
+import "fixture/internal/eventsim"
+
+type timer struct {
+	ev eventsim.Event
+}
+
+// field-held handles: overwrite on reschedule, cancel unconditionally.
+func (t *timer) arm(s *eventsim.Sim) {
+	s.Cancel(t.ev)
+	t.ev = s.After(10, func() {})
+}
+
+func (t *timer) stop(s *eventsim.Sim) {
+	s.Cancel(t.ev) // unconditional cancel through a field is the idiom
+}
+
+func assignedHandle(s *eventsim.Sim) bool {
+	var h eventsim.Event
+	h = s.At(5, func() {})
+	return h.Scheduled()
+}
+
+func cancelResultChecked(s *eventsim.Sim) bool {
+	h := s.At(5, func() {})
+	return s.Cancel(h) // result used: fine
+}
+
+func cancelResultAssigned(s *eventsim.Sim) {
+	h := s.At(5, func() {})
+	if ok := s.Cancel(h); !ok {
+		panic("expected pending")
+	}
+}
+
+// fire-and-forget scheduling in a plain function is fine: there is no
+// handle field to go stale.
+func fireAndForget(s *eventsim.Sim) {
+	s.At(5, func() {})
+}
+
+func annotatedProbe(s *eventsim.Sim) {
+	h := s.At(5, func() {})
+	//simlint:allow handlelife(probe fires regardless; the cancel outcome is irrelevant here)
+	s.Cancel(h)
+}

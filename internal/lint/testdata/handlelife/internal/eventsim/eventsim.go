@@ -1,0 +1,24 @@
+// Package eventsim mirrors the real module's generation-counted event
+// handles for the handlelife fixtures.
+package eventsim
+
+type Event struct {
+	id  int
+	gen uint64
+}
+
+func (h Event) Scheduled() bool { return h.id != 0 }
+func (h Event) At() int64       { return int64(h.id) }
+
+type Sim struct {
+	next int
+}
+
+func (s *Sim) At(t int64, fn func()) Event {
+	s.next++
+	return Event{id: s.next}
+}
+
+func (s *Sim) After(d int64, fn func()) Event { return s.At(d, fn) }
+
+func (s *Sim) Cancel(h Event) bool { return h.id != 0 }

@@ -1,0 +1,5 @@
+// Package core is clean; the testdata directory below it holds a
+// fixture of its own that the loader must skip.
+package core
+
+func Clean() int { return 1 }

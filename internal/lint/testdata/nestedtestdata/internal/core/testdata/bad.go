@@ -1,0 +1,9 @@
+// This file lives under a nested testdata directory: it is another
+// module's fixture, not part of the package above, and must be skipped.
+package junk
+
+import "time"
+
+var shared int
+
+func wallClock() int64 { return time.Now().UnixNano() }

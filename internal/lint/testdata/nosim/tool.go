@@ -1,0 +1,9 @@
+// Command fixture has no simulation packages at all: the loader must
+// cope with a module whose only package is harness code.
+package main
+
+import "time"
+
+func main() {
+	_ = time.Now() // harness code may read the wall clock
+}

@@ -1,0 +1,36 @@
+// Package netem mirrors the real module's packet pool for the
+// packetown fixtures.
+package netem
+
+type Packet struct {
+	Size int64
+	Next *Packet
+}
+
+type PacketPool struct {
+	free []*Packet // retention inside netem is the allowed owner set
+}
+
+func (p *PacketPool) Get() *Packet {
+	if p == nil || len(p.free) == 0 {
+		return &Packet{}
+	}
+	pkt := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return pkt
+}
+
+func (p *PacketPool) Put(pkt *Packet) {
+	if p == nil {
+		return
+	}
+	*pkt = Packet{}
+	p.free = append(p.free, pkt)
+}
+
+// queue retains packets too: legal, netem is the owning layer.
+type queue struct {
+	entries []*Packet
+}
+
+func (q *queue) push(pkt *Packet) { q.entries = append(q.entries, pkt) }

@@ -1,0 +1,63 @@
+// Package transport demonstrates the packetown rule: a packet handed
+// back with Put belongs to the pool, and nothing outside netem may
+// retain one in a field.
+package transport
+
+import "fixture/internal/netem"
+
+// stash retains a packet outside the owning layer.
+type stash struct {
+	pkt *netem.Packet //WANT packetown
+}
+
+// ring retains packets through a container type.
+type ring struct {
+	slots []*netem.Packet //WANT packetown
+}
+
+func useAfterPut(pool *netem.PacketPool) int64 {
+	p := pool.Get()
+	pool.Put(p)
+	return p.Size //WANT packetown
+}
+
+func storeAfterPut(pool *netem.PacketPool) {
+	p := pool.Get()
+	pool.Put(p)
+	p.Size = 1 //WANT packetown
+}
+
+func insertAfterPut(pool *netem.PacketPool, sink []*netem.Packet) []*netem.Packet {
+	p := pool.Get()
+	pool.Put(p)
+	return append(sink, p) //WANT packetown
+}
+
+func doublePut(pool *netem.PacketPool) {
+	p := pool.Get()
+	pool.Put(p)
+	pool.Put(p) //WANT packetown
+}
+
+func releaseAndReturn(pool *netem.PacketPool) *netem.Packet {
+	p := pool.Get()
+	pool.Put(p)
+	return p //WANT packetown
+}
+
+func putInFallthroughBranch(pool *netem.PacketPool, drop bool) int64 {
+	p := pool.Get()
+	if drop {
+		pool.Put(p) // branch falls through, so p is dead below
+	}
+	return p.Size //WANT packetown
+}
+
+func closureReleases(pool *netem.PacketPool) {
+	p := pool.Get()
+	release := func() {
+		pool.Put(p)
+		p.Size = 2 //WANT packetown
+	}
+	release()
+}

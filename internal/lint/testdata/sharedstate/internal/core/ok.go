@@ -1,0 +1,16 @@
+package core
+
+// constants are immutable: no finding.
+const maxShards = 64
+
+// state on a struct is per-shard by construction.
+type shard struct {
+	counter int
+}
+
+func (s *shard) bump() { s.counter++ }
+
+//simlint:allow sharedstate(immutable lookup table; written only at init)
+var names = []string{"a", "b"}
+
+func name(i int) string { return names[i%len(names)] }

@@ -1,0 +1,53 @@
+// Package experiments is harness code: package-level vars are allowed
+// here, but goroutines and racy sweep closures are not.
+package experiments
+
+import "fixture/internal/sim"
+
+var results []int // harness package: no finding
+
+func rogueGoroutine(ch chan int) {
+	go func() { ch <- 1 }() //WANT sharedstate
+}
+
+func racySweep(n int) int {
+	total := 0
+	sim.RunSweep(n, func(i int) {
+		total += i //WANT sharedstate
+	})
+	return total
+}
+
+func racyAppend(n int) []int {
+	var seen []int
+	sim.RunSweep(n, func(i int) {
+		seen = append(seen, i) //WANT sharedstate
+	})
+	return seen
+}
+
+func racyCounter(n int) int {
+	count := 0
+	sim.RunAll([]func(){func() {
+		count++ //WANT sharedstate
+	}})
+	return count
+}
+
+func perSlotWrites(n int) []int {
+	out := make([]int, n)
+	sim.RunSweep(n, func(i int) {
+		out[i] = i * i // disjoint per-index slots: the intended pattern
+	})
+	return out
+}
+
+func localStateInClosure(n int) {
+	sim.RunSweep(n, func(i int) {
+		acc := 0
+		for j := 0; j < i; j++ {
+			acc += j
+		}
+		_ = acc
+	})
+}

@@ -1,0 +1,21 @@
+// Package sim mirrors the real module's sweep runner: the one place
+// allowed to start goroutines.
+package sim
+
+import "sync"
+
+func RunSweep(n int, fn func(i int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) { // legal: this file is the approved runner
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func RunAll(fns []func()) {
+	RunSweep(len(fns), func(i int) { fns[i]() })
+}

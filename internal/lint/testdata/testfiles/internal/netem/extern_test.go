@@ -1,0 +1,11 @@
+// External test package: checked as its own package against the same
+// per-rule exemptions.
+package netem_test
+
+import "fixture/internal/netem"
+
+func doublePutInExternalTest(pool *netem.PacketPool) {
+	p := pool.Get()
+	pool.Put(p)
+	pool.Put(p) //WANT packetown
+}

@@ -1,0 +1,28 @@
+// Package netem mirrors the real packet pool so the test-file pass has
+// ownership semantics to check.
+package netem
+
+type Packet struct {
+	Size int64
+}
+
+type PacketPool struct {
+	free []*Packet
+}
+
+func (p *PacketPool) Get() *Packet {
+	if p == nil || len(p.free) == 0 {
+		return &Packet{}
+	}
+	pkt := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return pkt
+}
+
+func (p *PacketPool) Put(pkt *Packet) {
+	if p == nil {
+		return
+	}
+	*pkt = Packet{}
+	p.free = append(p.free, pkt)
+}

@@ -72,7 +72,8 @@ func TestRunSweepProgress(t *testing.T) {
 	}
 	var seen []SweepProgress
 	_, err := RunSweep(scenarios, SweepOptions{
-		Workers:  2,
+		Workers: 2,
+		//simlint:allow sharedstate(RunSweep serializes Progress calls under its mutex)
 		Progress: func(p SweepProgress) { seen = append(seen, p) },
 	})
 	if err != nil {

@@ -732,6 +732,7 @@ func (s *Spec) applyDeadlineOverrideSource(c *checker, src workload.Source) work
 	return workload.OverrideDeadlines(src, d, below)
 }
 
+//simlint:allow sharedstate(immutable name table; never written after init)
 var faultOps = []struct {
 	name string
 	op   faults.Op
@@ -742,6 +743,7 @@ var faultOps = []struct {
 	{"delay", faults.OpDelay},
 }
 
+//simlint:allow sharedstate(immutable name table; never written after init)
 var faultDirs = []struct {
 	name string
 	dir  faults.Direction

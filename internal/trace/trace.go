@@ -41,6 +41,7 @@ const (
 	LinkFault
 )
 
+//simlint:allow sharedstate(immutable name table; written only at init)
 var kindNames = [...]string{
 	Enqueue:    "ENQ",
 	Drop:       "DROP",

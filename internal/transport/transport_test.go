@@ -1,6 +1,7 @@
 package transport
 
 import (
+	//simlint:allow noglobalrand(testing/quick requires a *rand.Rand; both uses seed it with a fixed constant)
 	"math/rand"
 	"testing"
 	"testing/quick"
