@@ -47,6 +47,43 @@ func TestAllocGateEventScheduleFire(t *testing.T) {
 	}
 }
 
+// TestAllocGateFarFutureTimer: an At+Cancel cycle beyond the wheel
+// horizon — the RTO-timer pattern, which lands in the calendar queue's
+// spill heap rather than a wheel slot — must not allocate either.
+func TestAllocGateFarFutureTimer(t *testing.T) {
+	s := eventsim.New()
+	fn := func() {}
+	const far = 50 * units.Millisecond // >> the ~1 ms wheel horizon
+	cycle := func() { s.Cancel(s.At(s.Now()+far, fn)) }
+	for i := 0; i < 4096; i++ {
+		cycle()
+	}
+	if allocs := testing.AllocsPerRun(5000, cycle); allocs != 0 {
+		t.Fatalf("far-future At+Cancel cycle allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestAllocGateSameTickBatch: scheduling a burst at one instant and
+// draining it through RunUntil's batched same-timestamp dispatch must
+// not allocate in steady state.
+func TestAllocGateSameTickBatch(t *testing.T) {
+	s := eventsim.New()
+	fn := func() {}
+	burst := func() {
+		at := s.Now() + 1
+		for i := 0; i < 16; i++ {
+			s.At(at, fn)
+		}
+		s.RunUntil(at)
+	}
+	for i := 0; i < 1024; i++ {
+		burst()
+	}
+	if allocs := testing.AllocsPerRun(2000, burst); allocs != 0 {
+		t.Fatalf("same-tick batch drain allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
 // TestAllocGateAtArg: the closure-free (fn, arg) scheduling variant
 // with a pointer-typed argument must not allocate in steady state
 // (this is the Port delivery path).

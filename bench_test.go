@@ -267,11 +267,13 @@ func BenchmarkAblationShortPolicy(b *testing.B) {
 
 // ---- Simulator core micro-benches (engine cost, not a paper figure) ----
 
-// BenchmarkEventQueue measures schedule+run through the 4-ary heap in
-// 1024-deep batches. Every scheduled event is also executed inside the
-// timed region (the final drain included), so allocs/op is the true
-// per-event cost — nothing leaks past the b.N loop — and Executed()
-// equals b.N exactly, making the events/sec metric honest.
+// BenchmarkEventQueue measures schedule+run through the calendar
+// queue in 1024-deep batches (the tracked BENCH_4→BENCH_8 baseline —
+// its shape must stay fixed for cross-PR comparison). Every scheduled
+// event is also executed inside the timed region (the final drain
+// included), so allocs/op is the true per-event cost — nothing leaks
+// past the b.N loop — and Executed() equals b.N exactly, making the
+// events/sec metric honest.
 func BenchmarkEventQueue(b *testing.B) {
 	s := eventsim.New()
 	fn := func() {}
@@ -292,6 +294,43 @@ func BenchmarkEventQueue(b *testing.B) {
 	}
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(s.Executed())/secs, "events/sec")
+	}
+}
+
+// BenchmarkEventQueueSameTick measures the batched same-timestamp
+// dispatch path: 64-event bursts sharing one instant, drained through
+// RunUntil's slot-batch loop — the shape a fan-in of port deliveries
+// on one tick produces.
+func BenchmarkEventQueueSameTick(b *testing.B) {
+	s := eventsim.New()
+	fn := func() {}
+	const burst = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += burst {
+		at := s.Now() + 1
+		for j := 0; j < burst; j++ {
+			s.At(at, fn)
+		}
+		s.RunUntil(at)
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(s.Executed())/secs, "events/sec")
+	}
+}
+
+// BenchmarkEventQueueFarTimers measures the spill path: an At+Cancel
+// cycle far beyond the wheel horizon, the steady-state cost of every
+// transport RTO re-arm.
+func BenchmarkEventQueueFarTimers(b *testing.B) {
+	s := eventsim.New()
+	fn := func() {}
+	const far = 50 * units.Millisecond
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Cancel(s.At(s.Now()+far, fn))
 	}
 }
 

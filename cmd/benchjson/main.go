@@ -1,15 +1,30 @@
 // Command benchjson converts `go test -bench` output on stdin into a
-// tracked JSON baseline (BENCH_4.json). Each invocation fills one
+// tracked JSON baseline (BENCH_<pr>.json). Each invocation fills one
 // section ("before" or "after") and merges with any sections already in
 // the output file, so the before/after pair can be produced by separate
 // runs:
 //
-//	go test -bench 'BenchmarkEventQueue|BenchmarkPortTransit' . | benchjson -out BENCH_4.json -section after
+//	go test -bench 'BenchmarkEventQueue|BenchmarkPortTransit' . | benchjson -out BENCH_8.json -section after
 //
 // The raw benchmark lines are preserved verbatim (benchstat-compatible:
-// `jq -r '.after.raw[]' BENCH_4.json | benchstat /dev/stdin` works), and
+// `jq -r '.after.raw[]' BENCH_8.json | benchstat /dev/stdin` works), and
 // each line is also parsed into name / iterations / metric map so CI or
 // scripts can compare allocs/op and ns/op without reparsing.
+//
+// Baseline files are append-only history: each PR that changes tracked
+// performance writes its numbers to a NEW BENCH_<pr>.json and leaves
+// earlier baselines untouched, so the trajectory the ROADMAP calls for
+// stays reconstructible from the repo alone.
+//
+// Compare mode turns a pair of baselines into a regression gate:
+//
+//	benchjson -compare BENCH_4.json -metric events/sec -max-regress 10 BENCH_8.json
+//
+// reads both files, matches benchmarks by name over the given metric,
+// and exits nonzero if the new value regresses more than -max-regress
+// percent against the old "after" section (metrics ending in "/sec"
+// count higher as better; all others, ns/op-style, count lower as
+// better). Nothing is written in compare mode.
 package main
 
 import (
@@ -46,10 +61,16 @@ type Section struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_4.json", "output JSON file (merged if it exists)")
+	out := flag.String("out", "BENCH_8.json", "output JSON file (merged if it exists)")
 	section := flag.String("section", "after", `section to write: "before" or "after"`)
 	require := flag.String("require", "", "comma-separated metric units that must appear in the parsed section (e.g. \"flows/sec,peakRSS-MB\"); missing ones fail the run")
+	compare := flag.String("compare", "", "compare mode: path of the old baseline JSON; the new baseline is the positional argument")
+	metric := flag.String("metric", "events/sec", "compare mode: metric unit to compare")
+	maxRegress := flag.Float64("max-regress", 10, "compare mode: tolerated regression in percent before exiting nonzero")
 	flag.Parse()
+	if *compare != "" {
+		os.Exit(runCompare(*compare, flag.Arg(0), *metric, *maxRegress))
+	}
 	if *section != "before" && *section != "after" {
 		fmt.Fprintf(os.Stderr, "benchjson: -section must be \"before\" or \"after\", got %q\n", *section)
 		os.Exit(2)
@@ -90,6 +111,87 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s section %q\n",
 		len(sec.Benchmarks), *out, *section)
+}
+
+// runCompare implements the regression gate: match benchmarks by name
+// across the "after" sections of two baseline files and check the
+// given metric moved no worse than maxRegress percent. Returns the
+// process exit code: 0 all within tolerance, 1 regression (or no
+// comparable benchmarks — a vacuous pass must not look like a pass),
+// 2 usage or file errors.
+func runCompare(oldPath, newPath, metric string, maxRegress float64) int {
+	if newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -compare needs the new baseline as a positional argument")
+		return 2
+	}
+	oldSec, err := loadAfter(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	newSec, err := loadAfter(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	// For rate metrics ("/sec") bigger is better; for per-op costs
+	// (ns/op, B/op, allocs/op, ...) smaller is better.
+	higherBetter := strings.HasSuffix(metric, "/sec")
+	compared, regressed := 0, 0
+	for _, nb := range newSec.Benchmarks {
+		nv, ok := nb.Metrics[metric]
+		if !ok {
+			continue
+		}
+		for _, ob := range oldSec.Benchmarks {
+			ov, ok := ob.Metrics[metric]
+			if !ok || ob.Name != nb.Name || ov == 0 {
+				continue
+			}
+			compared++
+			var lossPct float64
+			if higherBetter {
+				lossPct = (ov - nv) / ov * 100
+			} else {
+				lossPct = (nv - ov) / ov * 100
+			}
+			status := "ok"
+			if lossPct > maxRegress {
+				status = "REGRESSION"
+				regressed++
+			}
+			fmt.Printf("%-40s %s: %.6g -> %.6g (%+.1f%%, tolerance %.1f%%) %s\n",
+				nb.Name, metric, ov, nv, -lossPct, maxRegress, status)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmarks in both %s and %s report %q — nothing compared\n",
+			oldPath, newPath, metric)
+		return 1
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d of %d benchmarks regressed more than %.1f%% on %s\n",
+			regressed, compared, maxRegress, metric)
+		return 1
+	}
+	return 0
+}
+
+// loadAfter reads a baseline file and returns its "after" section.
+func loadAfter(path string) (*Section, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	file := map[string]*Section{}
+	if err := json.Unmarshal(data, &file); err != nil {
+		return nil, fmt.Errorf("%s is not valid baseline JSON: %v", path, err)
+	}
+	sec := file["after"]
+	if sec == nil || len(sec.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s has no \"after\" section with benchmarks", path)
+	}
+	return sec, nil
 }
 
 // missingMetrics checks the -require list: every named metric unit

@@ -1,0 +1,218 @@
+package eventsim
+
+import (
+	"testing"
+)
+
+// dualSim drives the calendar-queue engine and the old-heap reference
+// through one operation stream and checks they agree on everything
+// observable: fire order, clock, Executed and Pending. It is the
+// oracle behind TestDifferentialRandomOps and FuzzEventOrder.
+type dualSim struct {
+	t    testing.TB
+	s    *Sim
+	r    *refSim
+	sLog []int
+	rLog []int
+	sH   []Event
+	rH   []refHandle
+}
+
+func newDualSim(t testing.TB) *dualSim {
+	return &dualSim{t: t, s: New(), r: newRefSim()}
+}
+
+// schedule adds event id at absolute time at to both engines,
+// alternating between the closure (At) and closure-free (AtArg)
+// scheduling paths so both consume sequence numbers identically.
+func (d *dualSim) schedule(id int, at Time) {
+	if at < d.s.Now() {
+		return
+	}
+	if id%2 == 0 {
+		d.sH = append(d.sH, d.s.At(at, func() { d.sLog = append(d.sLog, id) }))
+	} else {
+		d.sH = append(d.sH, d.s.AtArg(at, func(any) { d.sLog = append(d.sLog, id) }, nil))
+	}
+	d.rH = append(d.rH, d.r.At(at, func() { d.rLog = append(d.rLog, id) }))
+}
+
+// scheduleReserved exercises the ReserveSeq/AtSeq pair: the FIFO slot
+// is taken first, then the event is materialized with it.
+func (d *dualSim) scheduleReserved(id int, at Time) {
+	if at < d.s.Now() {
+		return
+	}
+	sq := d.s.ReserveSeq()
+	rq := d.r.ReserveSeq()
+	if sq != rq {
+		d.t.Fatalf("sequence counters diverged: wheel %d, ref %d", sq, rq)
+	}
+	d.sH = append(d.sH, d.s.AtSeq(at, sq, func(any) { d.sLog = append(d.sLog, id) }, nil))
+	d.rH = append(d.rH, d.r.AtSeq(at, rq, func() { d.rLog = append(d.rLog, id) }))
+}
+
+// scheduleChained schedules id, whose firing schedules id+chainOffset
+// a little later — covering events scheduled from inside callbacks.
+func (d *dualSim) scheduleChained(id int, at, childDelta Time) {
+	if at < d.s.Now() {
+		return
+	}
+	d.sH = append(d.sH, d.s.At(at, func() {
+		d.sLog = append(d.sLog, id)
+		d.s.At(d.s.Now()+childDelta, func() { d.sLog = append(d.sLog, id+chainOffset) })
+	}))
+	d.rH = append(d.rH, d.r.At(at, func() {
+		d.rLog = append(d.rLog, id)
+		d.r.At(d.r.Now()+childDelta, func() { d.rLog = append(d.rLog, id+chainOffset) })
+	}))
+}
+
+const chainOffset = 1 << 24
+
+// cancel cancels handle index i (which may be stale: fired or already
+// cancelled) in both engines; the reported pending-ness must match.
+func (d *dualSim) cancel(i int) {
+	if len(d.sH) == 0 {
+		return
+	}
+	i %= len(d.sH)
+	sOK := d.s.Cancel(d.sH[i])
+	rOK := d.r.Cancel(d.rH[i])
+	if sOK != rOK {
+		d.t.Fatalf("Cancel(handle %d) diverged: wheel %v, ref %v", i, sOK, rOK)
+	}
+}
+
+func (d *dualSim) step() {
+	sOK := d.s.Step()
+	rOK := d.r.Step()
+	if sOK != rOK {
+		d.t.Fatalf("Step availability diverged: wheel %v, ref %v", sOK, rOK)
+	}
+	d.check("after Step")
+}
+
+func (d *dualSim) runUntil(deadline Time) {
+	d.s.RunUntil(deadline)
+	d.r.RunUntil(deadline)
+	d.check("after RunUntil")
+}
+
+func (d *dualSim) run() {
+	d.s.Run()
+	d.r.Run()
+	d.check("after Run")
+}
+
+func (d *dualSim) check(when string) {
+	d.t.Helper()
+	if len(d.sLog) != len(d.rLog) {
+		d.t.Fatalf("%s: wheel fired %d events, ref fired %d", when, len(d.sLog), len(d.rLog))
+	}
+	for i := range d.sLog {
+		if d.sLog[i] != d.rLog[i] {
+			d.t.Fatalf("%s: fire order diverged at position %d: wheel id %d, ref id %d",
+				when, i, d.sLog[i], d.rLog[i])
+		}
+	}
+	if d.s.Now() != d.r.Now() {
+		d.t.Fatalf("%s: clocks diverged: wheel %v, ref %v", when, d.s.Now(), d.r.Now())
+	}
+	if d.s.Executed() != d.r.Executed() {
+		d.t.Fatalf("%s: Executed diverged: wheel %d, ref %d", when, d.s.Executed(), d.r.Executed())
+	}
+	if d.s.Pending() != d.r.Pending() {
+		d.t.Fatalf("%s: Pending diverged: wheel %d, ref %d", when, d.s.Pending(), d.r.Pending())
+	}
+}
+
+// TestDifferentialRandomOps is the calendar queue's oracle: randomized
+// schedule / cancel / RunUntil / Step workloads over several seeds,
+// mixing near-horizon events (wheel slots), far-horizon events (the
+// spill heap, and migration back as the clock advances), exact
+// same-timestamp bursts (batched dispatch), reserved-sequence
+// scheduling and cancel-after-fire — always requiring behavior
+// identical to the old heap.
+func TestDifferentialRandomOps(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		rng := NewRNG(seed)
+		d := newDualSim(t)
+		nextID := 0
+		for op := 0; op < 3000; op++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2: // near-horizon schedule (wheel)
+				d.schedule(nextID, d.s.Now()+Time(rng.Intn(200_000)))
+				nextID++
+			case 3: // far-horizon schedule (spill, > wheelHorizon)
+				d.schedule(nextID, d.s.Now()+wheelHorizon+Time(rng.Intn(50_000_000)))
+				nextID++
+			case 4: // same-timestamp burst
+				at := d.s.Now() + Time(rng.Intn(100_000))
+				for k := rng.Intn(6) + 2; k > 0; k-- {
+					d.schedule(nextID, at)
+					nextID++
+				}
+			case 5: // reserved-sequence schedule
+				d.scheduleReserved(nextID, d.s.Now()+Time(rng.Intn(300_000)))
+				nextID++
+			case 6: // schedule-from-callback chain
+				d.scheduleChained(nextID, d.s.Now()+Time(rng.Intn(100_000)), Time(rng.Intn(2_000_000)))
+				nextID++
+			case 7: // cancel (live or stale)
+				d.cancel(rng.Intn(1 << 20))
+			case 8:
+				d.step()
+			case 9:
+				d.runUntil(d.s.Now() + Time(rng.Intn(3_000_000)))
+			}
+		}
+		d.run()
+		if d.s.Pending() != 0 {
+			t.Fatalf("seed %d: events left pending after Run: %d", seed, d.s.Pending())
+		}
+		t.Logf("seed %d: %d events fired, clock at %v", seed, len(d.sLog), d.s.Now())
+	}
+}
+
+// TestDifferentialHorizonBoundary pins the exact wheel/spill boundary:
+// events scheduled right at, just inside and just beyond the horizon,
+// then fired across several horizon advances, must match the
+// reference in every observable.
+func TestDifferentialHorizonBoundary(t *testing.T) {
+	d := newDualSim(t)
+	id := 0
+	for _, base := range []Time{0, wheelHorizon - 1, wheelHorizon, wheelHorizon + 1,
+		2*wheelHorizon - 1, 2 * wheelHorizon, 5 * wheelHorizon} {
+		for _, off := range []Time{0, 1, (1 << slotShift) - 1, 1 << slotShift} {
+			d.schedule(id, base+off)
+			id++
+		}
+	}
+	for d.s.Pending() > 0 {
+		d.runUntil(d.s.Now() + wheelHorizon/2)
+	}
+	d.run()
+}
+
+// TestDifferentialStopInBatch verifies Stop issued from inside a
+// same-timestamp batch halts both engines at the same position.
+func TestDifferentialStopInBatch(t *testing.T) {
+	d := newDualSim(t)
+	for i := 0; i < 10; i++ {
+		d.schedule(i, 100)
+	}
+	d.sH = append(d.sH, d.s.At(100, func() { d.sLog = append(d.sLog, 10); d.s.Stop() }))
+	d.rH = append(d.rH, d.r.At(100, func() { d.rLog = append(d.rLog, 10); d.r.Stop() }))
+	for i := 11; i < 20; i++ {
+		d.schedule(i, 100)
+	}
+	d.run() // stops mid-batch at id 10
+	if len(d.sLog) != 11 {
+		t.Fatalf("stopped batch fired %d events, want 11", len(d.sLog))
+	}
+	d.run() // resumes the rest of the batch
+	if len(d.sLog) != 20 {
+		t.Fatalf("resumed batch fired %d events total, want 20", len(d.sLog))
+	}
+}

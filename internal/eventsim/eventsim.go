@@ -13,11 +13,18 @@
 // Parallelism belongs one level up, across independent runs of a
 // parameter sweep.
 //
-// The pending queue is a hand-rolled 4-ary implicit heap rather than
-// container/heap: event push/pop is the hottest path of the whole
-// simulator (millions of packets, each several events), and the 4-ary
-// layout plus direct comparisons (no interface dispatch) roughly halves
-// its cost.
+// The pending queue is a calendar queue (one-level hierarchical timing
+// wheel plus a sorted spill): event push/pop is the hottest path of the
+// whole simulator, and almost every event is near-future — a
+// serialization completion or propagation arrival within one wire
+// horizon of now. Those land in O(1) wheel slots keyed by their
+// distance from the clock. The minority of far-future events (RTO
+// timers, fault-schedule entries, pre-scheduled flow arrivals) overflow
+// to a small 4-ary heap that refills the wheel as the clock advances.
+// Events scheduled for the same instant drain from one wheel slot as a
+// batch, so a burst of same-timestamp deliveries pays the ordering
+// machinery once, not per event. DESIGN.md §14 describes the structure
+// and why it preserves the engine's determinism contract exactly.
 //
 // Event storage is recycled through a per-Sim freelist so steady-state
 // scheduling allocates nothing: nodes are carved in blocks, released
@@ -27,11 +34,12 @@
 // no-ops rather than acting on whatever event happens to occupy the
 // node now. The freelist is a plain slice, not a sync.Pool: the engine
 // is single-goroutine, and sync.Pool's GC-driven emptying would make
-// reuse order (and therefore heap node addresses) vary across runs.
+// reuse order (and therefore node addresses) vary across runs.
 package eventsim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"tlb/internal/units"
 )
@@ -42,6 +50,30 @@ type Time = units.Time
 
 // maxTime is the largest representable simulated time.
 const maxTime = Time(1<<63 - 1)
+
+// Calendar-queue geometry. A slot spans 2^slotShift simulated
+// nanoseconds and the wheel holds wheelSlots of them, so events within
+// wheelHorizon (= wheelSlots << slotShift ≈ 1.05 ms) of the clock
+// insert in O(1); everything further out spills to the heap. 512 ns
+// per slot keeps slot populations near one for the dominant event mix
+// (per-packet serialization at 1–10 Gbps spaces events ~1.2–12 µs
+// apart), and 2048 slots cover the longest queueing backlogs the
+// figure scenarios build without spilling steady-state traffic.
+const (
+	slotShift    = 9
+	wheelSlots   = 2048 // must be a power of two
+	wheelMask    = wheelSlots - 1
+	wheelWords   = wheelSlots / 64
+	wheelHorizon = Time(wheelSlots) << slotShift
+)
+
+// Location tags for event.where: a non-negative value is an index into
+// the spill heap; the two sentinels mark wheel membership and
+// not-queued.
+const (
+	locNone  int32 = -1
+	locWheel int32 = -2
+)
 
 // event is the engine-internal node for one scheduled callback. Nodes
 // live in a per-Sim freelist and are recycled; gen is bumped at every
@@ -56,7 +88,12 @@ type event struct {
 	fnArg func(any)
 	arg   any
 	gen   uint64
-	heap  int32 // index in the heap, -1 once popped or cancelled
+	// where locates the node: spill-heap index, locWheel (slot derived
+	// from at), or locNone once fired or cancelled.
+	where int32
+	// next/prev link the node into its wheel slot's (at, seq)-sorted
+	// list; nil while in the spill heap or free.
+	next, prev *event
 }
 
 // Event is a handle to a scheduled callback. It is a value: copy it
@@ -77,15 +114,43 @@ func (h Event) At() Time { return h.at }
 // Scheduled reports whether the event is still pending.
 func (h Event) Scheduled() bool { return h.e != nil && h.gen == h.e.gen }
 
+// slot is one wheel bucket: a doubly-linked list kept sorted by
+// (at, seq). All events in a slot share one absolute bucket number
+// (at >> slotShift), so the list holds at most one slot-width of time.
+type slot struct {
+	head, tail *event
+}
+
 // Sim is a discrete-event simulator instance.
 type Sim struct {
 	now     Time
-	heap    []*event
 	seq     uint64
 	stopped bool
 	// executed counts events run so far; useful for progress reporting
 	// and for bounding runaway simulations in tests.
 	executed uint64
+
+	// wheel state. occ is the slot-occupancy bitmap scanned (from the
+	// clock's slot, circularly) to find the next nonempty slot; min
+	// caches the wheel's earliest event, nil meaning "unknown, rescan"
+	// (count disambiguates unknown from empty).
+	slots [wheelSlots]slot
+	occ   [wheelWords]uint64
+	count int
+	min   *event
+	// curBucket/horizonEnd are refreshed when the clock advances into a
+	// new bucket; events at or beyond horizonEnd go to the spill. They
+	// may lag the clock after a RunUntil deadline jump — that only
+	// diverts inserts to the spill (still correct, marginally slower)
+	// until the next fired event refreshes them.
+	curBucket  int64
+	horizonEnd Time
+
+	// spill is the far-future overflow: a 4-ary implicit heap ordered
+	// by (at, seq). advance migrates its head into the wheel as the
+	// horizon moves past it.
+	spill []*event
+
 	// free is the recycled-node stack (LIFO, deterministic).
 	free []*event
 }
@@ -94,13 +159,16 @@ type Sim struct {
 // warmup pays one allocation per block instead of one per event.
 const eventBlock = 64
 
-// initialHeapCap pre-sizes the pending queue; typical runs hold a few
-// hundred in-flight events (one per packet on the wire plus timers).
-const initialHeapCap = 512
+// initialSpillCap pre-sizes the spill heap; it only holds events more
+// than a wheel horizon out (timers, fault schedules, arrivals).
+const initialSpillCap = 256
 
 // New returns an empty simulator with the clock at zero.
 func New() *Sim {
-	return &Sim{heap: make([]*event, 0, initialHeapCap)}
+	return &Sim{
+		spill:      make([]*event, 0, initialSpillCap),
+		horizonEnd: wheelHorizon,
+	}
 }
 
 // Now returns the current simulated time.
@@ -110,7 +178,7 @@ func (s *Sim) Now() Time { return s.now }
 func (s *Sim) Executed() uint64 { return s.executed }
 
 // Pending returns the number of events currently scheduled.
-func (s *Sim) Pending() int { return len(s.heap) }
+func (s *Sim) Pending() int { return s.count + len(s.spill) }
 
 // alloc pops a recycled node, refilling the freelist with a fresh
 // block when it runs dry.
@@ -123,7 +191,7 @@ func (s *Sim) alloc() *event {
 	}
 	blk := make([]event, eventBlock)
 	for i := range blk {
-		blk[i].heap = -1
+		blk[i].where = locNone
 	}
 	for i := eventBlock - 1; i >= 1; i-- {
 		s.free = append(s.free, &blk[i])
@@ -139,23 +207,68 @@ func (s *Sim) release(e *event) {
 	e.fn = nil
 	e.fnArg = nil
 	e.arg = nil
-	e.heap = -1
+	e.where = locNone
+	e.next = nil
+	e.prev = nil
 	s.free = append(s.free, e)
 }
 
-func (s *Sim) schedule(t Time, fn func(), fnArg func(any), arg any) Event {
+// ReserveSeq consumes and returns the next FIFO sequence number
+// without scheduling anything. It exists for components that fix an
+// event's tie-break position at one point in simulated time but only
+// materialize the event later (netem ports reserve at packet admission
+// and schedule lazily, one event per port); AtSeq schedules with the
+// reserved number. Each reservation advances the same counter ordinary
+// scheduling uses, so reserved and direct events share one total
+// (time, seq) order.
+func (s *Sim) ReserveSeq() uint64 {
+	v := s.seq
+	s.seq++
+	return v
+}
+
+// AtSeq schedules fn(arg) at absolute time t with a sequence number
+// previously obtained from ReserveSeq, placing the event in FIFO order
+// as of the reservation, not the call. The caller must keep the pair
+// causally consistent: t must be >= Now (checked), and an event must
+// not be scheduled behind the engine's firing position — i.e. at
+// (t, seq) when another event at the same t with a sequence between
+// seq and the current counter has already fired (unchecked; netem's
+// per-port FIFO guarantees it by construction).
+func (s *Sim) AtSeq(t Time, seq uint64, fn func(any), arg any) Event {
+	if fn == nil {
+		panic("eventsim: nil event function")
+	}
+	if seq >= s.seq {
+		panic(fmt.Sprintf("eventsim: AtSeq with unreserved sequence number %d (next is %d)", seq, s.seq))
+	}
+	return s.schedule(t, seq, nil, fn, arg)
+}
+
+func (s *Sim) schedule(t Time, seq uint64, fn func(), fnArg func(any), arg any) Event {
 	if t < s.now {
 		panic(fmt.Sprintf("eventsim: scheduling at %v before now %v", t, s.now))
 	}
 	e := s.alloc()
 	e.at = t
-	e.seq = s.seq
+	e.seq = seq
 	e.fn = fn
 	e.fnArg = fnArg
 	e.arg = arg
-	s.seq++
-	s.push(e)
+	if t < s.horizonEnd {
+		s.wheelInsert(e)
+	} else {
+		s.spillPush(e)
+	}
 	return Event{e: e, gen: e.gen, at: t}
+}
+
+// nextSeq consumes the next FIFO sequence number for an immediate
+// schedule.
+func (s *Sim) nextSeq() uint64 {
+	v := s.seq
+	s.seq++
+	return v
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past
@@ -165,7 +278,7 @@ func (s *Sim) At(t Time, fn func()) Event {
 	if fn == nil {
 		panic("eventsim: nil event function")
 	}
-	return s.schedule(t, fn, nil, nil)
+	return s.schedule(t, s.nextSeq(), fn, nil, nil)
 }
 
 // After schedules fn to run d after the current time.
@@ -183,7 +296,7 @@ func (s *Sim) AtArg(t Time, fn func(any), arg any) Event {
 	if fn == nil {
 		panic("eventsim: nil event function")
 	}
-	return s.schedule(t, nil, fn, arg)
+	return s.schedule(t, s.nextSeq(), nil, fn, arg)
 }
 
 // AfterArg schedules fn(arg) to run d after the current time.
@@ -203,7 +316,7 @@ func (s *Sim) Cancel(h Event) bool {
 	if h.e == nil || h.gen != h.e.gen {
 		return false
 	}
-	s.remove(int(h.e.heap))
+	s.unqueue(h.e)
 	s.release(h.e)
 	return true
 }
@@ -225,16 +338,33 @@ func (s *Sim) Run() {
 // stay queued, so a later RunUntil can continue the same simulation.
 // A pending Stop (from before the call or issued by an event) ends the
 // call early and is consumed on return.
+//
+// Events sharing a timestamp dispatch as a batch: once the earliest
+// event's slot is located, its same-time successors in that slot fire
+// back to back without re-probing the spill or the occupancy bitmap
+// (the spill cannot hold an event at the current instant — advance
+// migrated everything inside the horizon — and a callback scheduling
+// at the current instant sorts into the same slot behind the batch).
 func (s *Sim) RunUntil(deadline Time) {
-	for len(s.heap) > 0 && !s.stopped {
-		e := s.heap[0]
-		if e.at > deadline {
+	for !s.stopped {
+		e := s.peek()
+		if e == nil || e.at > deadline {
 			break
 		}
-		s.popHead()
-		s.now = e.at
+		t := e.at
+		s.advance(t)
+		s.unqueue(e)
 		s.executed++
 		s.invoke(e)
+		for !s.stopped {
+			n := s.min
+			if n == nil || n.at != t {
+				break
+			}
+			s.unqueue(n)
+			s.executed++
+			s.invoke(n)
+		}
 	}
 	if !s.stopped && s.now < deadline && deadline < maxTime {
 		s.now = deadline
@@ -245,12 +375,12 @@ func (s *Sim) RunUntil(deadline Time) {
 // Step runs exactly one event and reports whether one was available.
 // Step ignores a pending Stop (it is an explicit single-step request).
 func (s *Sim) Step() bool {
-	if len(s.heap) == 0 {
+	e := s.peek()
+	if e == nil {
 		return false
 	}
-	e := s.heap[0]
-	s.popHead()
-	s.now = e.at
+	s.advance(e.at)
+	s.unqueue(e)
 	s.executed++
 	s.invoke(e)
 	return true
@@ -269,7 +399,61 @@ func (s *Sim) invoke(e *event) {
 	}
 }
 
-// before reports heap ordering: earlier time first, FIFO within a time.
+// peek returns the earliest pending event without removing it, or nil.
+// The wheel candidate comes from the cached min (rescanned on demand);
+// the spill candidate is its heap head. Comparing the two is correct
+// whether or not the spill head has been migrated yet.
+func (s *Sim) peek() *event {
+	wm := s.min
+	if wm == nil && s.count > 0 {
+		wm = s.rescan()
+	}
+	if len(s.spill) == 0 {
+		return wm
+	}
+	sp := s.spill[0]
+	if wm == nil || before(sp, wm) {
+		return sp
+	}
+	return wm
+}
+
+// advance moves the clock to t. When t enters a new bucket the wheel
+// horizon slides forward and every spill event now inside it migrates
+// to its slot — this is what lets the same-timestamp batch in RunUntil
+// skip spill probes, and what keeps slot lists to one bucket each.
+func (s *Sim) advance(t Time) {
+	s.now = t
+	nb := int64(t >> slotShift)
+	if nb == s.curBucket {
+		return
+	}
+	s.curBucket = nb
+	he := Time(nb+wheelSlots) << slotShift
+	if he < t {
+		// Near the Time overflow horizon (≈292 simulated years) the
+		// wheel window cannot be represented; degrade to spill-only
+		// operation, which stays correct.
+		he = t
+	}
+	s.horizonEnd = he
+	for len(s.spill) > 0 && s.spill[0].at < he {
+		e := s.spill[0]
+		s.spillPop()
+		s.wheelInsert(e)
+	}
+}
+
+// unqueue removes a queued event from whichever structure holds it.
+func (s *Sim) unqueue(e *event) {
+	if e.where == locWheel {
+		s.wheelUnlink(e)
+	} else {
+		s.spillRemove(int(e.where))
+	}
+}
+
+// before reports queue ordering: earlier time first, FIFO within a time.
 func before(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
@@ -277,40 +461,136 @@ func before(a, b *event) bool {
 	return a.seq < b.seq
 }
 
-// push inserts the event into the 4-ary heap.
-func (s *Sim) push(e *event) {
-	s.heap = append(s.heap, e)
-	s.up(len(s.heap) - 1)
+// ---- wheel ----
+
+// wheelInsert links e into its slot's sorted list. The common case —
+// the newest event in its slot, because per-source schedules advance
+// monotonically — appends at the tail in O(1); otherwise a backward
+// walk finds the insertion point (slot populations are near one, so
+// the walk is short).
+func (s *Sim) wheelInsert(e *event) {
+	i := int(uint64(e.at)>>slotShift) & wheelMask
+	sl := &s.slots[i]
+	switch {
+	case sl.tail == nil:
+		sl.head = e
+		sl.tail = e
+		s.occ[i>>6] |= 1 << (uint(i) & 63)
+	case !before(e, sl.tail):
+		e.prev = sl.tail
+		sl.tail.next = e
+		sl.tail = e
+	default:
+		c := sl.tail
+		for c.prev != nil && before(e, c.prev) {
+			c = c.prev
+		}
+		e.next = c
+		e.prev = c.prev
+		if c.prev != nil {
+			c.prev.next = e
+		} else {
+			sl.head = e
+		}
+		c.prev = e
+	}
+	e.where = locWheel
+	s.count++
+	if s.min != nil && before(e, s.min) {
+		s.min = e
+	} else if s.count == 1 {
+		s.min = e
+	}
 }
 
-// popHead removes the heap minimum (the caller has already read it).
-func (s *Sim) popHead() {
-	h := s.heap
+// wheelUnlink removes e from its slot list and keeps the cached min
+// coherent: removing the min promotes its same-slot successor (the
+// slot holds the wheel's earliest bucket, so the successor is the new
+// global wheel min), or invalidates the cache when the slot drains.
+func (s *Sim) wheelUnlink(e *event) {
+	i := int(uint64(e.at)>>slotShift) & wheelMask
+	sl := &s.slots[i]
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sl.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sl.tail = e.prev
+	}
+	if sl.head == nil {
+		s.occ[i>>6] &^= 1 << (uint(i) & 63)
+	}
+	s.count--
+	if s.min == e {
+		s.min = e.next // nil means "unknown": rescan on demand
+	}
+	e.next = nil
+	e.prev = nil
+	e.where = locNone
+}
+
+// rescan recomputes the cached wheel min by scanning the occupancy
+// bitmap circularly from the clock's slot. Every queued wheel event
+// lies within wheelSlots buckets at or after the clock's bucket, so
+// the first occupied slot found is the earliest bucket and its list
+// head the earliest event. Cost is a handful of word operations, paid
+// only when a slot drains.
+func (s *Sim) rescan() *event {
+	start := int(uint64(s.now)>>slotShift) & wheelMask
+	w := start >> 6
+	b := uint(start & 63)
+	if x := s.occ[w] & (^uint64(0) << b); x != 0 {
+		s.min = s.slots[w<<6+bits.TrailingZeros64(x)].head
+		return s.min
+	}
+	for k := 1; k <= wheelWords; k++ {
+		w2 := (w + k) & (wheelWords - 1)
+		if x := s.occ[w2]; x != 0 {
+			s.min = s.slots[w2<<6+bits.TrailingZeros64(x)].head
+			return s.min
+		}
+	}
+	return nil
+}
+
+// ---- spill (4-ary implicit heap, far-future overflow) ----
+
+func (s *Sim) spillPush(e *event) {
+	s.spill = append(s.spill, e)
+	s.up(len(s.spill) - 1)
+}
+
+// spillPop removes the heap minimum (the caller has already read it).
+func (s *Sim) spillPop() {
+	h := s.spill
 	n := len(h) - 1
-	h[0].heap = -1
+	h[0].where = locNone
 	h[0] = h[n]
 	h[n] = nil
-	s.heap = h[:n]
+	s.spill = h[:n]
 	if n > 0 {
 		s.down(0)
 	}
 }
 
-// remove deletes the element at index i.
-func (s *Sim) remove(i int) {
-	h := s.heap
+// spillRemove deletes the element at index i.
+func (s *Sim) spillRemove(i int) {
+	h := s.spill
 	n := len(h) - 1
-	h[i].heap = -1
+	h[i].where = locNone
 	if i == n {
 		h[n] = nil
-		s.heap = h[:n]
+		s.spill = h[:n]
 		return
 	}
 	moved := h[n]
 	h[i] = moved
-	moved.heap = int32(i)
+	moved.where = int32(i)
 	h[n] = nil
-	s.heap = h[:n]
+	s.spill = h[:n]
 	// Re-establish heap order in whichever direction is violated.
 	if i > 0 && before(moved, h[(i-1)/4]) {
 		s.up(i)
@@ -320,7 +600,7 @@ func (s *Sim) remove(i int) {
 }
 
 func (s *Sim) up(i int) {
-	h := s.heap
+	h := s.spill
 	e := h[i]
 	for i > 0 {
 		p := (i - 1) / 4
@@ -328,15 +608,15 @@ func (s *Sim) up(i int) {
 			break
 		}
 		h[i] = h[p]
-		h[i].heap = int32(i)
+		h[i].where = int32(i)
 		i = p
 	}
 	h[i] = e
-	e.heap = int32(i)
+	e.where = int32(i)
 }
 
 func (s *Sim) down(i int) {
-	h := s.heap
+	h := s.spill
 	n := len(h)
 	e := h[i]
 	for {
@@ -359,11 +639,11 @@ func (s *Sim) down(i int) {
 			break
 		}
 		h[i] = h[min]
-		h[i].heap = int32(i)
+		h[i].where = int32(i)
 		i = min
 	}
 	h[i] = e
-	e.heap = int32(i)
+	e.where = int32(i)
 }
 
 // Ticker invokes fn every period until Stop is called or the simulation

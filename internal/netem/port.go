@@ -17,9 +17,20 @@ type LinkConfig struct {
 // Port is a switch (or host NIC) output: a FIFO queue drained by a
 // directed link. Because the queue is FIFO, every packet's service
 // start, service end and delivery time are known the moment it is
-// admitted; the port therefore schedules exactly one simulator event
-// per packet (its delivery) and the queue evaluates its own occupancy
-// lazily from the precomputed service times.
+// admitted; the queue evaluates its own occupancy lazily from the
+// precomputed service times.
+//
+// Delivery scheduling is batched: the port keeps at most one engine
+// event pending — for its oldest undelivered packet — and re-arms it
+// for the next packet when that one fires, instead of holding one
+// event per in-flight packet. Each packet still reserves its engine
+// sequence number at admission (eventsim.Sim.ReserveSeq) and the
+// re-armed event is scheduled with that reservation (AtSeq), so every
+// delivery fires at exactly the (time, sequence) position the eager
+// per-packet schedule would have produced — the global event order,
+// and therefore every figure, is byte-identical. What changes is the
+// engine's working set: the pending queue holds one event per port
+// rather than one per packet on the wire.
 //
 // Link parameters are dynamic: SetLink re-rates or re-delays the link
 // mid-run and SetDown fails the port entirely (see internal/faults).
@@ -40,6 +51,10 @@ type Port struct {
 	// (deliver pops the FIFO head, so delivery events must stay in
 	// admission order).
 	lastDelivery units.Time
+	// evPending reports whether the single delivery event for the queue
+	// head is currently scheduled (ports never cancel deliveries, so a
+	// bool suffices — no handle is kept).
+	evPending bool
 	// down marks a failed link: Send drops at admission, like a pulled
 	// cable, and liveness-aware balancers route around the port.
 	down bool
@@ -160,16 +175,35 @@ func (p *Port) Send(pkt *Packet) bool {
 	if deliverAt > p.lastDelivery {
 		p.lastDelivery = deliverAt
 	}
-	p.sim.AtArg(deliverAt, portDeliver, p)
+	// Reserve the packet's FIFO position now (only for admitted packets
+	// — drops must not consume sequence numbers), but only materialize
+	// an engine event if none is pending: the port re-arms for the next
+	// packet when the current delivery fires.
+	p.q.setDelivery(deliverAt, p.sim.ReserveSeq())
+	if !p.evPending {
+		at, seq := p.q.headDelivery()
+		p.sim.AtSeq(at, seq, portDeliver, p)
+		p.evPending = true
+	}
 	return true
 }
 
 // portDeliver is the delivery callback shared by every port and every
-// packet: scheduled through AtArg with the port as the argument (a
+// packet: scheduled through AtSeq with the port as the argument (a
 // pointer, so the any-conversion does not allocate), it keeps Send
 // closure-free. Deliveries fire in FIFO order, so it always pops the
-// head.
+// head, then re-arms the port's single event for the next undelivered
+// packet at its admission-reserved (time, sequence) position. The pop
+// happens before the handler runs so a handler that sends on this same
+// port sees a consistent queue (its Send re-arms the event; the check
+// after the handler then skips).
 func portDeliver(arg any) {
 	p := arg.(*Port)
+	p.evPending = false
 	p.dst(p.q.popDelivered())
+	if !p.evPending && p.q.hasEntries() {
+		at, seq := p.q.headDelivery()
+		p.sim.AtSeq(at, seq, portDeliver, p)
+		p.evPending = true
+	}
 }

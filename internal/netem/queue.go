@@ -35,11 +35,15 @@ type QueueStats struct {
 	SumLenOnArrival int64
 }
 
-// queueEntry is one admitted packet and the moment it starts service
-// (leaves the waiting queue, NS2 drop-tail semantics).
+// queueEntry is one admitted packet, the moment it starts service
+// (leaves the waiting queue, NS2 drop-tail semantics), when it reaches
+// the far end, and the engine sequence number reserved at admission
+// that fixes its FIFO tie-break position among same-instant events.
 type queueEntry struct {
 	pkt          *Packet
 	serviceStart units.Time
+	deliverAt    units.Time
+	seq          uint64
 }
 
 // Queue is a drop-tail FIFO with ECN marking whose occupancy is
@@ -133,6 +137,29 @@ func (q *Queue) admit(p *Packet, now, serviceStart units.Time) bool {
 // faultDrop records an admission drop at a down port.
 func (q *Queue) faultDrop() { q.stats.FaultDropped++ }
 
+// setDelivery stamps the most recently admitted entry with its
+// delivery time and reserved engine sequence number. It is separate
+// from admit because the sequence must only be consumed for admitted
+// packets — a dropped packet never reached the old per-packet
+// scheduling path either, and the reservation stream has to match it
+// exactly.
+func (q *Queue) setDelivery(deliverAt units.Time, seq uint64) {
+	e := q.entries.tailRef()
+	e.deliverAt = deliverAt
+	e.seq = seq
+}
+
+// headDelivery returns the delivery time and reserved sequence number
+// of the oldest undelivered entry — the one the port's single pending
+// engine event stands for.
+func (q *Queue) headDelivery() (units.Time, uint64) {
+	e := q.entries.headRef()
+	return e.deliverAt, e.seq
+}
+
+// hasEntries reports whether any admitted packet is still undelivered.
+func (q *Queue) hasEntries() bool { return q.entries.len() > 0 }
+
 // popDelivered removes and returns the oldest entry (its delivery
 // event has fired).
 func (q *Queue) popDelivered() *Packet {
@@ -169,6 +196,14 @@ func (r *entryRing) push(e queueEntry) {
 	}
 	r.buf[(r.head+r.n)%len(r.buf)] = e
 	r.n++
+}
+
+func (r *entryRing) headRef() *queueEntry {
+	return &r.buf[r.head]
+}
+
+func (r *entryRing) tailRef() *queueEntry {
+	return &r.buf[(r.head+r.n-1)%len(r.buf)]
 }
 
 func (r *entryRing) pop() queueEntry {
