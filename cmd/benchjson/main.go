@@ -25,6 +25,15 @@
 // percent against the old "after" section (metrics ending in "/sec"
 // count higher as better; all others, ns/op-style, count lower as
 // better). Nothing is written in compare mode.
+//
+// -base-section selects which section of the old file is the baseline
+// (default "after"). Passing the SAME file with -base-section before
+// gates its own before->after pair — the like-for-like comparison when
+// the two newest baseline files were captured in different machine
+// states (shared hardware drifts between sessions; absolute events/sec
+// across files then measures the host, not the code):
+//
+//	benchjson -compare BENCH_9.json -base-section before -metric events/sec -max-regress 10 BENCH_9.json
 package main
 
 import (
@@ -65,11 +74,16 @@ func main() {
 	section := flag.String("section", "after", `section to write: "before" or "after"`)
 	require := flag.String("require", "", "comma-separated metric units that must appear in the parsed section (e.g. \"flows/sec,peakRSS-MB\"); missing ones fail the run")
 	compare := flag.String("compare", "", "compare mode: path of the old baseline JSON; the new baseline is the positional argument")
+	baseSection := flag.String("base-section", "after", `compare mode: section of the old baseline to compare against ("before" or "after")`)
 	metric := flag.String("metric", "events/sec", "compare mode: metric unit to compare")
 	maxRegress := flag.Float64("max-regress", 10, "compare mode: tolerated regression in percent before exiting nonzero")
 	flag.Parse()
 	if *compare != "" {
-		os.Exit(runCompare(*compare, flag.Arg(0), *metric, *maxRegress))
+		if *baseSection != "before" && *baseSection != "after" {
+			fmt.Fprintf(os.Stderr, "benchjson: -base-section must be \"before\" or \"after\", got %q\n", *baseSection)
+			os.Exit(2)
+		}
+		os.Exit(runCompare(*compare, *baseSection, flag.Arg(0), *metric, *maxRegress))
 	}
 	if *section != "before" && *section != "after" {
 		fmt.Fprintf(os.Stderr, "benchjson: -section must be \"before\" or \"after\", got %q\n", *section)
@@ -114,22 +128,22 @@ func main() {
 }
 
 // runCompare implements the regression gate: match benchmarks by name
-// across the "after" sections of two baseline files and check the
-// given metric moved no worse than maxRegress percent. Returns the
-// process exit code: 0 all within tolerance, 1 regression (or no
-// comparable benchmarks — a vacuous pass must not look like a pass),
-// 2 usage or file errors.
-func runCompare(oldPath, newPath, metric string, maxRegress float64) int {
+// across the baseSection of the old baseline file and the "after"
+// section of the new one, and check the given metric moved no worse
+// than maxRegress percent. Returns the process exit code: 0 all within
+// tolerance, 1 regression (or no comparable benchmarks — a vacuous
+// pass must not look like a pass), 2 usage or file errors.
+func runCompare(oldPath, baseSection, newPath, metric string, maxRegress float64) int {
 	if newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -compare needs the new baseline as a positional argument")
 		return 2
 	}
-	oldSec, err := loadAfter(oldPath)
+	oldSec, err := loadSection(oldPath, baseSection)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		return 2
 	}
-	newSec, err := loadAfter(newPath)
+	newSec, err := loadSection(newPath, "after")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		return 2
@@ -177,8 +191,8 @@ func runCompare(oldPath, newPath, metric string, maxRegress float64) int {
 	return 0
 }
 
-// loadAfter reads a baseline file and returns its "after" section.
-func loadAfter(path string) (*Section, error) {
+// loadSection reads a baseline file and returns the named section.
+func loadSection(path, section string) (*Section, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -187,9 +201,9 @@ func loadAfter(path string) (*Section, error) {
 	if err := json.Unmarshal(data, &file); err != nil {
 		return nil, fmt.Errorf("%s is not valid baseline JSON: %v", path, err)
 	}
-	sec := file["after"]
+	sec := file[section]
 	if sec == nil || len(sec.Benchmarks) == 0 {
-		return nil, fmt.Errorf("%s has no \"after\" section with benchmarks", path)
+		return nil, fmt.Errorf("%s has no %q section with benchmarks", path, section)
 	}
 	return sec, nil
 }

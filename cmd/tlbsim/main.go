@@ -59,6 +59,7 @@ func main() {
 		specPaths = flag.String("spec", "", "comma-separated spec files or globs to run instead of the flag-built scenario")
 		checkOnly = flag.Bool("check-spec", false, "with -spec: validate the files and exit without running")
 		workers   = flag.Int("workers", 0, "concurrent runs for multi-file -spec batches (0 = GOMAXPROCS)")
+		shards    = flag.Int("shards", 0, "spatial shards per run (clamped per topology); results are byte-identical at any shard count")
 		dumpSpec  = flag.String("dump-spec", "", "write the flag-built scenario's spec JSON to this path (\"-\" = stdout) and exit")
 		list      = flag.Bool("list-schemes", false, "list registered schemes and their parameters, then exit")
 	)
@@ -75,7 +76,7 @@ func main() {
 		seed: *seed, leaves: *leaves, spines: *spines, hosts: *hosts,
 		deadline: units.Time(deadline.Nanoseconds()), traceN: *traceN,
 		specPaths: *specPaths, checkOnly: *checkOnly,
-		workers: *workers, dumpSpec: *dumpSpec,
+		workers: *workers, shards: *shards, dumpSpec: *dumpSpec,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "tlbsim:", err)
 		os.Exit(1)
@@ -93,6 +94,7 @@ type options struct {
 	specPaths, dumpSpec   string
 	checkOnly             bool
 	workers               int
+	shards                int
 }
 
 func run(o options) error {
@@ -104,7 +106,7 @@ func run(o options) error {
 		if o.checkOnly {
 			return checkSpecs(files)
 		}
-		return runSpecFiles(files, o.workers, o.traceN)
+		return runSpecFiles(files, o.workers, o.shards, o.traceN)
 	}
 	if o.checkOnly {
 		return fmt.Errorf("-check-spec needs -spec")
@@ -117,7 +119,7 @@ func run(o options) error {
 	if o.dumpSpec != "" {
 		return writeSpec(sp, o.dumpSpec)
 	}
-	return runOne(sp, o.traceN)
+	return runOne(sp, o.shards, o.traceN)
 }
 
 // flagSpec assembles the scenario spec the workload flags describe.
@@ -233,13 +235,13 @@ func checkSpecs(files []string) error {
 
 // runSpecFiles compiles and runs the spec files; multi-file batches go
 // through the sweep worker pool and report each result in input order.
-func runSpecFiles(files []string, workers, traceN int) error {
+func runSpecFiles(files []string, workers, shards, traceN int) error {
 	if len(files) == 1 {
 		sp, err := spec.Load(files[0])
 		if err != nil {
 			return err
 		}
-		return runOne(sp, traceN)
+		return runOne(sp, shards, traceN)
 	}
 	if traceN > 0 {
 		return fmt.Errorf("-trace needs a single scenario, got %d spec files", len(files))
@@ -253,6 +255,9 @@ func runSpecFiles(files []string, workers, traceN int) error {
 		scenarios[i], err = sp.Compile()
 		if err != nil {
 			return err
+		}
+		if shards > 0 {
+			scenarios[i].Shards = shards
 		}
 	}
 	results, err := sim.RunSweep(scenarios, sim.SweepOptions{
@@ -278,11 +283,15 @@ func runSpecFiles(files []string, workers, traceN int) error {
 	return nil
 }
 
-// runOne compiles and runs a single spec, with optional tracing.
-func runOne(sp *spec.Spec, traceN int) error {
+// runOne compiles and runs a single spec, with optional sharding and
+// tracing (mutually exclusive: the sharded runner rejects a tracer).
+func runOne(sp *spec.Spec, shards, traceN int) error {
 	sc, err := sp.Compile()
 	if err != nil {
 		return err
+	}
+	if shards > 0 {
+		sc.Shards = shards
 	}
 	var tr *trace.Tracer
 	if traceN > 0 {

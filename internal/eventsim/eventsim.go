@@ -5,7 +5,16 @@
 // schedule callbacks at absolute times (At) or relative delays (After);
 // Run repeatedly pops the earliest event and invokes it, advancing the
 // clock. Two events scheduled for the same instant fire in the order
-// they were scheduled, which keeps runs fully deterministic.
+// they were scheduled, which keeps runs fully deterministic. A second,
+// disjoint ordering domain exists for callers that need a tie-break
+// independent of scheduling order: AtKey schedules with an explicit
+// caller-built key in the upper half of the sequence space (KeyDomain
+// set), so keyed events fire after every same-instant counter-sequenced
+// event, ordered among themselves by key. netem ports use it to give
+// packet deliveries a position that depends only on (admission time,
+// port identity) — the property that lets the sharded runner
+// (internal/sim) reproduce the exact global event order from per-shard
+// engines.
 //
 // The engine is single-goroutine by design: a packet-level network
 // simulation is a serial dependency chain, and determinism (exact
@@ -78,22 +87,31 @@ const (
 // event is the engine-internal node for one scheduled callback. Nodes
 // live in a per-Sim freelist and are recycled; gen is bumped at every
 // release so stale Event handles cannot resurrect a recycled node.
+//
+// Field order is part of the performance contract (layout_test.go pins
+// it): the queue-walk fields — at/seq for ordering comparisons,
+// next/prev for slot-list splicing, where for membership — plus gen and
+// both callback words all fit in the node's first 64 bytes, so an
+// insert, unlink or compare touches one cache line. Only the two-word
+// arg interface spills to the second line, and it is read once, at
+// dispatch.
 type event struct {
 	at  Time
 	seq uint64 // tie-break: FIFO among equal times
+	// next/prev link the node into its wheel slot's (at, seq)-sorted
+	// list; nil while in the spill heap or free.
+	next, prev *event
+	// where locates the node: spill-heap index, locWheel (slot derived
+	// from at), or locNone once fired or cancelled.
+	where int32
+	_     int32 // explicit padding: keeps gen's 8-alignment visible
+	gen   uint64
 	// Exactly one of fn / fnArg is set. The (fnArg, arg) pair lets hot
 	// callers schedule a pre-bound function plus argument without
 	// building a capturing closure per event.
 	fn    func()
 	fnArg func(any)
 	arg   any
-	gen   uint64
-	// where locates the node: spill-heap index, locWheel (slot derived
-	// from at), or locNone once fired or cancelled.
-	where int32
-	// next/prev link the node into its wheel slot's (at, seq)-sorted
-	// list; nil while in the spill heap or free.
-	next, prev *event
 }
 
 // Event is a handle to a scheduled callback. It is a value: copy it
@@ -126,6 +144,8 @@ type Sim struct {
 	now     Time
 	seq     uint64
 	stopped bool
+	// keyedIDs is the construction-order counter behind ReserveKeyedID.
+	keyedIDs uint32
 	// executed counts events run so far; useful for progress reporting
 	// and for bounding runaway simulations in tests.
 	executed uint64
@@ -179,6 +199,20 @@ func (s *Sim) Executed() uint64 { return s.executed }
 
 // Pending returns the number of events currently scheduled.
 func (s *Sim) Pending() int { return s.count + len(s.spill) }
+
+// NextEventAt returns the time of the earliest pending event; ok is
+// false when nothing is scheduled. It exists for epoch-synchronized
+// callers (the sharded runner in internal/sim): between conservative
+// lookahead windows the coordinator peeks every shard's next event time
+// and jumps the common window start over idle gaps instead of stepping
+// through empty lookahead intervals one by one.
+func (s *Sim) NextEventAt() (Time, bool) {
+	e := s.peek()
+	if e == nil {
+		return 0, false
+	}
+	return e.at, true
+}
 
 // alloc pops a recycled node, refilling the freelist with a fresh
 // block when it runs dry.
@@ -243,6 +277,46 @@ func (s *Sim) AtSeq(t Time, seq uint64, fn func(any), arg any) Event {
 		panic(fmt.Sprintf("eventsim: AtSeq with unreserved sequence number %d (next is %d)", seq, s.seq))
 	}
 	return s.schedule(t, seq, nil, fn, arg)
+}
+
+// KeyDomain is the bit separating caller-keyed events (AtKey) from
+// counter-sequenced ones (At/AtArg/AtSeq). Counter sequences can never
+// reach it, so the two domains share one total (time, seq) order with
+// every keyed event sorting after every counter event at the same
+// instant.
+const KeyDomain uint64 = 1 << 63
+
+// AtKey schedules fn(arg) at absolute time t with an explicit ordering
+// key instead of a reserved sequence number. The key must have the
+// KeyDomain bit set (checked), which places it after every
+// counter-sequenced event at the same instant; among keyed events at
+// one instant, smaller keys fire first. The caller owns key semantics
+// and uniqueness: two pending events at the same (t, key) fire in an
+// unspecified relative order. netem builds keys from (admission time,
+// port index) so a delivery's position within its timestamp is a pure
+// function of the traffic — identical no matter which engine instance
+// (global or per-shard) schedules it.
+func (s *Sim) AtKey(t Time, key uint64, fn func(any), arg any) Event {
+	if fn == nil {
+		panic("eventsim: nil event function")
+	}
+	if key&KeyDomain == 0 {
+		panic(fmt.Sprintf("eventsim: AtKey key %#x outside the keyed domain", key))
+	}
+	return s.schedule(t, key, nil, fn, arg)
+}
+
+// ReserveKeyedID hands out consecutive small IDs in construction
+// order, for components that schedule through AtKey and need a stable
+// identity inside their keys. Determinism contract: IDs depend only on
+// construction order, so two builds that construct the same components
+// in the same order assign the same IDs — the property that makes
+// AtKey ordering invariant across the sharded runner's per-shard
+// engine instances, which each rebuild the full topology identically.
+func (s *Sim) ReserveKeyedID() uint32 {
+	v := s.keyedIDs
+	s.keyedIDs++
+	return v
 }
 
 func (s *Sim) schedule(t Time, seq uint64, fn func(), fnArg func(any), arg any) Event {
@@ -344,7 +418,9 @@ func (s *Sim) Run() {
 // back to back without re-probing the spill or the occupancy bitmap
 // (the spill cannot hold an event at the current instant — advance
 // migrated everything inside the horizon — and a callback scheduling
-// at the current instant sorts into the same slot behind the batch).
+// at the current instant sorts into the same slot, where wheelInsert
+// keeps the cached min coherent, so a counter-sequenced insert that
+// belongs before a still-pending keyed event is picked up in order).
 func (s *Sim) RunUntil(deadline Time) {
 	for !s.stopped {
 		e := s.peek()

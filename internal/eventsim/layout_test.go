@@ -1,0 +1,49 @@
+package eventsim
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestEventNodeLayout pins the cache-line layout of the engine's event
+// node. The queue-walk fields (at, seq, next, prev, where, gen) and
+// both callback words must stay inside the first 64 bytes so slot-list
+// splicing and ordering comparisons touch one cache line; only the
+// dispatch-time arg interface may spill past it. A change that grows
+// the node or pushes a hot field over the line must update this test
+// deliberately (and re-run make bench to justify it).
+func TestEventNodeLayout(t *testing.T) {
+	if unsafe.Sizeof(uintptr(0)) != 8 {
+		t.Skip("layout pinned for 64-bit platforms only")
+	}
+	if got, want := unsafe.Sizeof(event{}), uintptr(80); got != want {
+		t.Errorf("sizeof(event) = %d, want %d", got, want)
+	}
+	var e event
+	offsets := []struct {
+		name string
+		off  uintptr
+		want uintptr
+	}{
+		{"at", unsafe.Offsetof(e.at), 0},
+		{"seq", unsafe.Offsetof(e.seq), 8},
+		{"next", unsafe.Offsetof(e.next), 16},
+		{"prev", unsafe.Offsetof(e.prev), 24},
+		{"where", unsafe.Offsetof(e.where), 32},
+		{"gen", unsafe.Offsetof(e.gen), 40},
+		{"fn", unsafe.Offsetof(e.fn), 48},
+		{"fnArg", unsafe.Offsetof(e.fnArg), 56},
+		{"arg", unsafe.Offsetof(e.arg), 64},
+	}
+	for _, f := range offsets {
+		if f.off != f.want {
+			t.Errorf("offsetof(event.%s) = %d, want %d", f.name, f.off, f.want)
+		}
+	}
+	// Every hot field strictly inside the first cache line.
+	for _, f := range offsets[:len(offsets)-1] {
+		if f.off >= 64 {
+			t.Errorf("hot field event.%s at offset %d crossed the first cache line", f.name, f.off)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import "testing"
+
+// These tests are the figure-level determinism contract of the
+// sharded scenario runner (sim.Scenario.Shards): a figure rendered
+// with every simulation partitioned across 1, 2 or 4 spatial shards
+// must be byte-identical to the unsharded run. The sharded engine
+// reproduces the global event order exactly — deliveries are keyed by
+// (admission time, port index) in both modes — so this holds at the
+// strictest possible level, the CSV bytes.
+
+// runShardCounts renders one figure at each shard count and fails on
+// the first byte difference.
+func runShardCounts(t *testing.T, name string, run func(o Options) ([]Figure, error), base Options) {
+	t.Helper()
+	render := func(shards int) string {
+		o := base
+		o.Shards = shards
+		figs, err := run(o)
+		if err != nil {
+			t.Fatalf("%s at %d shard(s): %v", name, shards, err)
+		}
+		return figureCSV(figs)
+	}
+	unsharded := render(1)
+	if len(unsharded) == 0 {
+		t.Fatalf("%s: empty figures", name)
+	}
+	for _, shards := range []int{2, 4} {
+		if got := render(shards); got != unsharded {
+			t.Fatalf("%s diverges at %d shards:\n--- 1 shard ---\n%s\n--- %d shards ---\n%s",
+				name, shards, unsharded, shards, got)
+		}
+	}
+}
+
+// TestShardedIdenticalFig8 covers the leaf-spine incast/web-search
+// sweep — spine-heavy cross-leaf traffic, so almost every packet
+// crosses a shard boundary.
+func TestShardedIdenticalFig8(t *testing.T) {
+	runShardCounts(t, "fig8/9", Fig8And9, Options{Seed: 11, FlowsPerRun: 100, SweepPoints: 2})
+}
+
+// TestShardedIdenticalFig10 covers the Poisson load grid (large-scale
+// FCT sweep), the widest fan-out in the suite.
+func TestShardedIdenticalFig10(t *testing.T) {
+	runShardCounts(t, "fig10", Fig10, Options{Seed: 5, FlowsPerRun: 60, SweepPoints: 2})
+}
+
+// TestShardedIdenticalFig13 covers the testbed short-flow sweep.
+func TestShardedIdenticalFig13(t *testing.T) {
+	runShardCounts(t, "fig13", Fig13, Options{Seed: 9, FlowsPerRun: 60, SweepPoints: 2})
+}
+
+// TestShardedIdenticalFigF1 covers fault injection: the fault schedule
+// is installed per shard with ownership-filtered resolution, and this
+// pins that partitioned installation to the unsharded behavior.
+func TestShardedIdenticalFigF1(t *testing.T) {
+	runShardCounts(t, "figF1", FigF1, Options{Seed: 7, FlowsPerRun: 80, SweepPoints: 2})
+}
+
+// TestShardedIdenticalFigF2 covers the flapping-link recovery figure.
+func TestShardedIdenticalFigF2(t *testing.T) {
+	runShardCounts(t, "figF2", FigF2, Options{Seed: 3, FlowsPerRun: 60, SweepPoints: 2})
+}
+
+// TestShardedComposesWithWorkers runs shards inside the concurrent
+// sweep pool: worker goroutines each drive their own sharded
+// coordinator, and the figure must still match the serial unsharded
+// render.
+func TestShardedComposesWithWorkers(t *testing.T) {
+	render := func(workers, shards int) string {
+		figs, err := FigF1(Options{Seed: 7, FlowsPerRun: 80, SweepPoints: 2, Workers: workers, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return figureCSV(figs)
+	}
+	serial := render(1, 1)
+	if got := render(4, 2); got != serial {
+		t.Fatalf("workers=4 shards=2 diverges from serial unsharded:\n%s\nvs\n%s", serial, got)
+	}
+}

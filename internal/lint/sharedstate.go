@@ -18,9 +18,11 @@ import (
 //     accumulators syntactically, so every one needs a reasoned
 //     //simlint:allow sharedstate(...) asserting it is never written
 //     after init.
-//  2. go statements anywhere but internal/sim/sweep.go, the one
-//     approved concurrency entry point. Scattered goroutines make
-//     determinism and shutdown impossible to reason about centrally.
+//  2. go statements anywhere but the approved concurrency entry
+//     points: internal/sim/sweep.go (the sweep runner) and
+//     internal/sim/shard.go (the sharded scenario runner). Scattered
+//     goroutines make determinism and shutdown impossible to reason
+//     about centrally.
 //  3. Writes to captured variables inside closures passed to
 //     sim.RunSweep / sim.RunAll. The runner invokes these from worker
 //     goroutines, so `total += x` or `seen = append(seen, p)` races.
@@ -34,9 +36,9 @@ func (l *linter) checkSharedState(p *pkg, f *ast.File, sim bool) {
 		switch x := n.(type) {
 		case *ast.GoStmt:
 			pos := sharedFset.Position(x.Pos())
-			if !strings.HasSuffix(l.relFile(pos), "sim/sweep.go") {
+			if rel := l.relFile(pos); !strings.HasSuffix(rel, "sim/sweep.go") && !strings.HasSuffix(rel, "sim/shard.go") {
 				l.report(pos, "sharedstate",
-					"go statement outside sim/sweep.go; route concurrency through the approved runner (sim.RunSweep/RunAll) so shutdown and determinism stay centralized")
+					"go statement outside the approved runners (sim/sweep.go, sim/shard.go); route concurrency through sim.RunSweep/RunAll or the sharded scenario runner so shutdown and determinism stay centralized")
 			}
 		case *ast.CallExpr:
 			l.checkSweepClosures(p, x)

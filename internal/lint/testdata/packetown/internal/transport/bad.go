@@ -15,6 +15,13 @@ type ring struct {
 	slots []*netem.Packet //WANT packetown
 }
 
+// snapshot holds a packet by value: still flagged by default — the
+// copy is safe for the pool, but each one needs a reasoned directive
+// (see handoff in ok.go) so value copies stay deliberate.
+type snapshot struct {
+	pkt netem.Packet //WANT packetown
+}
+
 func useAfterPut(pool *netem.PacketPool) int64 {
 	p := pool.Get()
 	pool.Put(p)

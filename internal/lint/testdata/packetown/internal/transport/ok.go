@@ -43,3 +43,11 @@ func annotatedIdentityCheck(pool *netem.PacketPool) bool {
 	//simlint:allow packetown(identity comparison of the recycled pointer is the point of this probe)
 	return pool.Get() == p
 }
+
+// handoff mirrors the sharded runner's boundary message: a whole-value
+// packet copy, sanctioned with a reasoned directive because the
+// pool-owned original is never referenced.
+type handoff struct {
+	//simlint:allow packetown(whole-value copy; the pool-owned original is released separately)
+	pkt netem.Packet
+}

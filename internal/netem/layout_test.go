@@ -1,0 +1,51 @@
+package netem
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestPacketLayout pins the cache-line layout of Packet. Every field a
+// switch hop touches — Flow (routing/hashing), Seq/Wire/Ack
+// (forwarding and byte accounting), QueueDelay and the single-byte
+// flags (admission) — must stay inside the first 64 bytes, and the
+// whole struct must stay at 144 bytes so pool freelists and queue
+// entries stay small. Growing the packet or pushing a hot field over
+// the line is a deliberate decision: update this test and re-run
+// make bench.
+func TestPacketLayout(t *testing.T) {
+	if unsafe.Sizeof(uintptr(0)) != 8 {
+		t.Skip("layout pinned for 64-bit platforms only")
+	}
+	if got, want := unsafe.Sizeof(Packet{}), uintptr(144); got != want {
+		t.Errorf("sizeof(Packet) = %d, want %d", got, want)
+	}
+	var p Packet
+	hot := []struct {
+		name string
+		off  uintptr
+	}{
+		{"Flow", unsafe.Offsetof(p.Flow)},
+		{"Seq", unsafe.Offsetof(p.Seq)},
+		{"Wire", unsafe.Offsetof(p.Wire)},
+		{"Ack", unsafe.Offsetof(p.Ack)},
+		{"QueueDelay", unsafe.Offsetof(p.QueueDelay)},
+		{"Kind", unsafe.Offsetof(p.Kind)},
+		{"SackCount", unsafe.Offsetof(p.SackCount)},
+		{"CE", unsafe.Offsetof(p.CE)},
+		{"ECNEcho", unsafe.Offsetof(p.ECNEcho)},
+		{"FIN", unsafe.Offsetof(p.FIN)},
+		{"Retransmit", unsafe.Offsetof(p.Retransmit)},
+		{"pooled", unsafe.Offsetof(p.pooled)},
+	}
+	for _, f := range hot {
+		if f.off >= 64 {
+			t.Errorf("hot field Packet.%s at offset %d crossed the first cache line", f.name, f.off)
+		}
+	}
+	// The cold SACK array must stay last so it never displaces hot
+	// fields.
+	if off := unsafe.Offsetof(p.SackBlocks); off+unsafe.Sizeof(p.SackBlocks) != unsafe.Sizeof(Packet{}) {
+		t.Errorf("SackBlocks at offset %d is no longer the trailing field", off)
+	}
+}

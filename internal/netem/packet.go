@@ -83,27 +83,34 @@ func (k Kind) String() string {
 // Packet is one unit on the wire. Packets are passed by pointer through
 // the fabric and must not be mutated after being handed to a port,
 // except for the congestion-experienced bit which queues set.
+//
+// Field order is part of the performance contract (layout_test.go pins
+// it): the fields every hop touches — Flow for routing and hashing,
+// Seq/Wire/Ack for forwarding and byte accounting, QueueDelay plus all
+// the single-byte flags for admission — pack into the first 64 bytes,
+// so a switch hop reads one cache line; the admission-stamped
+// timestamps and stats share the second line, and the cold SACK block
+// array sits last. The reorder also drops the struct from 168 to 144
+// bytes, so the pool's freelist and every queue entry carry less.
 type Packet struct {
 	Flow FlowID
-	Kind Kind
-
 	// Seq is the first payload byte for Data packets.
 	Seq units.Bytes
-	// Payload is the number of payload bytes (0 for pure ACK/SYN).
-	Payload units.Bytes
 	// Wire is the total on-wire size including headers; serialization
 	// and queue occupancy are charged per packet but byte counters use
 	// Wire.
 	Wire units.Bytes
-
 	// Ack is the cumulative acknowledgement (next expected byte) on
 	// Ack/SynAck packets.
 	Ack units.Bytes
-	// SackBlocks carries up to 3 selective-acknowledgement ranges
-	// (start inclusive, end exclusive) when the transport has SACK
-	// enabled; SackCount says how many are valid.
-	SackBlocks [3]SackBlock
-	SackCount  uint8
+	// QueueDelay accumulates time spent waiting in queues across all
+	// hops; ports add to it at dequeue. The receiver folds it into the
+	// per-flow queueing-delay statistics (paper Fig. 3a, Fig. 8b).
+	QueueDelay units.Time
+
+	Kind Kind
+	// SackCount says how many SackBlocks entries are valid.
+	SackCount uint8
 	// CE is the ECN congestion-experienced bit, set by a queue whose
 	// length exceeds its marking threshold.
 	CE bool
@@ -113,30 +120,31 @@ type Packet struct {
 	// FIN marks the last data packet of a flow, standing in for the TCP
 	// FIN the paper's switch uses to decrement its flow counters.
 	FIN bool
+	// Retransmit marks retransmitted segments (excluded from
+	// reordering stats, since their displacement is intentional).
+	Retransmit bool
+	// pooled guards PacketPool ownership: true while the packet sits
+	// in a freelist, so a double release panics instead of silently
+	// aliasing two live packets onto one struct.
+	pooled bool
 
+	// Payload is the number of payload bytes (0 for pure ACK/SYN).
+	Payload units.Bytes
 	// SentAt is when the transport first handed the packet to the
 	// network; used for delay accounting.
 	SentAt units.Time
 	// EnqueuedAt is stamped by the queue on admission, for per-hop
 	// queueing-delay stats.
 	EnqueuedAt units.Time
-	// Retransmit marks retransmitted segments (excluded from
-	// reordering stats, since their displacement is intentional).
-	Retransmit bool
-
-	// QueueDelay accumulates time spent waiting in queues across all
-	// hops; ports add to it at dequeue. The receiver folds it into the
-	// per-flow queueing-delay statistics (paper Fig. 3a, Fig. 8b).
-	QueueDelay units.Time
 	// MaxQueueSeen is the largest queue length (in packets, excluding
 	// this packet) encountered on admission at any hop — the
 	// "queueing length experienced by each packet" of Fig. 3a.
 	MaxQueueSeen int
 
-	// pooled guards PacketPool ownership: true while the packet sits
-	// in a freelist, so a double release panics instead of silently
-	// aliasing two live packets onto one struct.
-	pooled bool
+	// SackBlocks carries up to 3 selective-acknowledgement ranges
+	// (start inclusive, end exclusive) when the transport has SACK
+	// enabled; SackCount says how many are valid.
+	SackBlocks [3]SackBlock
 }
 
 // SackBlock is one selectively-acknowledged byte range [Start, End).

@@ -23,14 +23,17 @@ type LinkConfig struct {
 // Delivery scheduling is batched: the port keeps at most one engine
 // event pending — for its oldest undelivered packet — and re-arms it
 // for the next packet when that one fires, instead of holding one
-// event per in-flight packet. Each packet still reserves its engine
-// sequence number at admission (eventsim.Sim.ReserveSeq) and the
-// re-armed event is scheduled with that reservation (AtSeq), so every
-// delivery fires at exactly the (time, sequence) position the eager
-// per-packet schedule would have produced — the global event order,
-// and therefore every figure, is byte-identical. What changes is the
-// engine's working set: the pending queue holds one event per port
-// rather than one per packet on the wire.
+// event per in-flight packet. Each packet's position within its
+// delivery instant is fixed at admission by a DeliveryKey — a value in
+// the engine's keyed ordering domain (eventsim.Sim.AtKey) built from
+// the admission time and the port's construction-order index. The key
+// is a pure function of the traffic and the topology, never of
+// scheduling history, so simultaneous deliveries at different ports
+// order identically whether the whole fabric runs on one engine or is
+// partitioned across the sharded runner's per-shard engines — the
+// property behind the "byte-identical at any shard count" guarantee.
+// Within one port the key is monotone in admission order (FIFO), so
+// the single re-armed event always fires for the queue head.
 //
 // Link parameters are dynamic: SetLink re-rates or re-delays the link
 // mid-run and SetDown fails the port entirely (see internal/faults).
@@ -62,14 +65,61 @@ type Port struct {
 	busyNs units.Time
 	// label is a human-readable identity for traces and tests.
 	label string
+	// idx is the port's construction-order index (eventsim.ReserveKeyedID):
+	// the partition-invariant identity inside every DeliveryKey.
+	idx uint32
+
+	// boundary, when set, marks the port as a shard-boundary egress
+	// (see SetBoundary): every admitted packet is additionally captured
+	// as a value copy for cross-shard handoff. Nil on every port of a
+	// single-shard run, costing one predictable branch in Send.
+	boundary func(pkt *Packet, admittedAt, deliverAt units.Time)
 }
 
-// NewPort wires a queue to a link ending at dst.
+// NewPort wires a queue to a link ending at dst. Each port draws a
+// construction-order index from its engine; two builds that construct
+// ports in the same order assign the same indices, which is what makes
+// DeliveryKey ordering identical across the sharded runner's per-shard
+// rebuilds of one topology.
 func NewPort(sim *eventsim.Sim, link LinkConfig, qcfg QueueConfig, dst Handler, label string) *Port {
 	if link.Bandwidth <= 0 {
 		panic("netem: port with non-positive bandwidth")
 	}
-	return &Port{sim: sim, link: link, q: NewQueue(qcfg), dst: dst, label: label}
+	idx := sim.ReserveKeyedID()
+	if idx >= 1<<deliveryPortBits {
+		panic("netem: port index overflows DeliveryKey packing (raise deliveryPortBits)")
+	}
+	return &Port{sim: sim, link: link, q: NewQueue(qcfg), dst: dst, label: label, idx: idx}
+}
+
+// Index returns the port's construction-order index — stable across
+// rebuilds of the same topology, and unique within one engine.
+func (p *Port) Index() uint32 { return p.idx }
+
+// DeliveryKey packing: the low deliveryPortBits carry the port index,
+// the admission timestamp sits above it, and the engine's KeyDomain
+// bit tops the word. 20 index bits allow a million ports; the 43
+// remaining timestamp bits cover ~2.4 simulated hours, far beyond any
+// scenario here (the guard panic says how to rebalance if that ever
+// changes).
+const (
+	deliveryPortBits = 20
+	maxKeyedTime     = units.Time(1) << (63 - deliveryPortBits)
+)
+
+// DeliveryKey builds the keyed-domain ordering key for a packet
+// admitted at admittedAt on the port with the given index. Ordering
+// simultaneous deliveries by (admission time, port index) — rather
+// than by engine scheduling history — is what makes the event order a
+// pure function of the traffic: the sharded runner schedules a
+// cross-shard handoff in the destination engine with the same key the
+// source port used, landing it at exactly the position the unsharded
+// run would have fired the delivery.
+func DeliveryKey(admittedAt units.Time, port uint32) uint64 {
+	if admittedAt >= maxKeyedTime {
+		panic("netem: simulated time overflows DeliveryKey packing (lower deliveryPortBits)")
+	}
+	return eventsim.KeyDomain | uint64(admittedAt)<<deliveryPortBits | uint64(port)
 }
 
 // Queue exposes the port's queue (read-mostly: load balancers consult
@@ -116,6 +166,30 @@ func (p *Port) SetLink(link LinkConfig) {
 
 // Label returns the port's diagnostic name.
 func (p *Port) Label() string { return p.label }
+
+// SetBoundary turns the port into a shard-boundary egress for the
+// sharded runner (internal/sim): this shard owns the port — its queue,
+// serialization schedule, drops and ECN marks stay exact and local —
+// but the far end belongs to another shard, so the real delivery
+// happens there. capture is invoked from Send for every admitted
+// packet, after the queue has applied all admission-time mutations (CE
+// mark, queue-delay and timestamp stamping), with the packet's
+// admission and delivery times; the callee copies the packet by value
+// into a handoff message. sink replaces the local destination handler:
+// the port's own delivery event still fires at the exact (time, seq)
+// position it would in an unsharded run — keeping occupancy, busy-time
+// and stats byte-identical — but the popped packet is released back to
+// this shard's pool instead of being handed to a peer, because the
+// value copy already crossed the boundary. Ownership of the original
+// thus never leaves the shard (packetown stays clean); the destination
+// shard materializes the copy from its own pool.
+func (p *Port) SetBoundary(capture func(pkt *Packet, admittedAt, deliverAt units.Time), sink Handler) {
+	if capture == nil || sink == nil {
+		panic("netem: SetBoundary with nil capture or sink")
+	}
+	p.boundary = capture
+	p.dst = sink
+}
 
 // BusyTime returns the cumulative serialization time, from which
 // utilization over an interval is computed.
@@ -175,35 +249,39 @@ func (p *Port) Send(pkt *Packet) bool {
 	if deliverAt > p.lastDelivery {
 		p.lastDelivery = deliverAt
 	}
-	// Reserve the packet's FIFO position now (only for admitted packets
-	// — drops must not consume sequence numbers), but only materialize
-	// an engine event if none is pending: the port re-arms for the next
-	// packet when the current delivery fires.
-	p.q.setDelivery(deliverAt, p.sim.ReserveSeq())
+	// Fix the packet's position within its delivery instant now (the
+	// key is a function of the admission time, so it must be built
+	// here), but only materialize an engine event if none is pending:
+	// the port re-arms for the next packet when the current delivery
+	// fires.
+	p.q.setDelivery(deliverAt, DeliveryKey(now, p.idx))
+	if p.boundary != nil {
+		p.boundary(pkt, now, deliverAt)
+	}
 	if !p.evPending {
-		at, seq := p.q.headDelivery()
-		p.sim.AtSeq(at, seq, portDeliver, p)
+		at, key := p.q.headDelivery()
+		p.sim.AtKey(at, key, portDeliver, p)
 		p.evPending = true
 	}
 	return true
 }
 
 // portDeliver is the delivery callback shared by every port and every
-// packet: scheduled through AtSeq with the port as the argument (a
+// packet: scheduled through AtKey with the port as the argument (a
 // pointer, so the any-conversion does not allocate), it keeps Send
 // closure-free. Deliveries fire in FIFO order, so it always pops the
 // head, then re-arms the port's single event for the next undelivered
-// packet at its admission-reserved (time, sequence) position. The pop
-// happens before the handler runs so a handler that sends on this same
-// port sees a consistent queue (its Send re-arms the event; the check
-// after the handler then skips).
+// packet at its admission-fixed (time, key) position. The pop happens
+// before the handler runs so a handler that sends on this same port
+// sees a consistent queue (its Send re-arms the event; the check after
+// the handler then skips).
 func portDeliver(arg any) {
 	p := arg.(*Port)
 	p.evPending = false
 	p.dst(p.q.popDelivered())
 	if !p.evPending && p.q.hasEntries() {
-		at, seq := p.q.headDelivery()
-		p.sim.AtSeq(at, seq, portDeliver, p)
+		at, key := p.q.headDelivery()
+		p.sim.AtKey(at, key, portDeliver, p)
 		p.evPending = true
 	}
 }

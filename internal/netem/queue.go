@@ -37,8 +37,8 @@ type QueueStats struct {
 
 // queueEntry is one admitted packet, the moment it starts service
 // (leaves the waiting queue, NS2 drop-tail semantics), when it reaches
-// the far end, and the engine sequence number reserved at admission
-// that fixes its FIFO tie-break position among same-instant events.
+// the far end, and the DeliveryKey built at admission that fixes its
+// tie-break position among same-instant events.
 type queueEntry struct {
 	pkt          *Packet
 	serviceStart units.Time
@@ -138,20 +138,17 @@ func (q *Queue) admit(p *Packet, now, serviceStart units.Time) bool {
 func (q *Queue) faultDrop() { q.stats.FaultDropped++ }
 
 // setDelivery stamps the most recently admitted entry with its
-// delivery time and reserved engine sequence number. It is separate
-// from admit because the sequence must only be consumed for admitted
-// packets — a dropped packet never reached the old per-packet
-// scheduling path either, and the reservation stream has to match it
-// exactly.
+// delivery time and admission-built DeliveryKey; only admitted packets
+// get a key — a dropped packet has no delivery instant to order.
 func (q *Queue) setDelivery(deliverAt units.Time, seq uint64) {
 	e := q.entries.tailRef()
 	e.deliverAt = deliverAt
 	e.seq = seq
 }
 
-// headDelivery returns the delivery time and reserved sequence number
-// of the oldest undelivered entry — the one the port's single pending
-// engine event stands for.
+// headDelivery returns the delivery time and DeliveryKey of the oldest
+// undelivered entry — the one the port's single pending engine event
+// stands for.
 func (q *Queue) headDelivery() (units.Time, uint64) {
 	e := q.entries.headRef()
 	return e.deliverAt, e.seq

@@ -42,6 +42,28 @@ type Scenario struct {
 	// count.
 	FlowSource workload.Source
 
+	// FlowSourceNew supplies the workload lazily like FlowSource, but as
+	// a replayable factory: every call must return a fresh Source that
+	// yields the identical flow sequence (the compiled workloads are pure
+	// functions of spec and seed, so this is their natural form). The
+	// sharded runner (Shards > 1) requires the factory — each shard pumps
+	// its own copy so flow indices stay global — and the single-engine
+	// path simply consumes one copy, so the factory is always safe where
+	// FlowSource would be. Setting both is an error.
+	FlowSourceNew func() workload.Source
+
+	// Shards > 1 partitions the run spatially: the topology is split
+	// into that many per-shard event partitions (clamped to the
+	// topology's parallelism — leaf groups on a leaf-spine fabric, pods
+	// on a fat-tree), each running its own event engine on its own
+	// goroutine, synchronized by conservative lookahead windows, with
+	// cross-shard packets exchanged as timestamped handoffs applied in
+	// deterministic order (see shard.go for the exact guarantees). 0 or
+	// 1 keeps the single-engine path, byte-identical to previous
+	// releases. A lazy workload must come as FlowSourceNew; Replication
+	// and Tracer are incompatible with sharding.
+	Shards int
+
 	// StreamStats folds every flow record into fixed-size per-class
 	// aggregates (Result.Stream) at completion and releases the record,
 	// instead of retaining it in Result.Flows — O(1) memory per flow.
@@ -174,10 +196,14 @@ func Run(sc Scenario) (*Result, error) {
 	if sc.Balancer == nil {
 		return nil, fmt.Errorf("sim: scenario %q has no balancer", sc.Name)
 	}
-	if len(sc.Flows) == 0 && sc.FlowSource == nil {
+	if sc.FlowSource != nil && sc.FlowSourceNew != nil {
+		return nil, fmt.Errorf("sim: scenario %q sets both FlowSource and FlowSourceNew", sc.Name)
+	}
+	hasSource := sc.FlowSource != nil || sc.FlowSourceNew != nil
+	if len(sc.Flows) == 0 && !hasSource {
 		return nil, fmt.Errorf("sim: scenario %q has no flows", sc.Name)
 	}
-	if len(sc.Flows) > 0 && sc.FlowSource != nil {
+	if len(sc.Flows) > 0 && hasSource {
 		return nil, fmt.Errorf("sim: scenario %q sets both Flows and FlowSource", sc.Name)
 	}
 	if sc.StreamStats {
@@ -188,8 +214,15 @@ func Run(sc Scenario) (*Result, error) {
 			return nil, fmt.Errorf("sim: scenario %q: StreamStats is incompatible with Replication (racing copies need retained records)", sc.Name)
 		}
 	}
-	if sc.FlowSource != nil && sc.Replication != nil {
+	if hasSource && sc.Replication != nil {
 		return nil, fmt.Errorf("sim: scenario %q: Replication needs a materialized Flows slice", sc.Name)
+	}
+	if sc.Shards > 1 {
+		return runSharded(sc)
+	}
+	// Single-engine path: a factory workload is consumed as one source.
+	if sc.FlowSource == nil && sc.FlowSourceNew != nil {
+		sc.FlowSource = sc.FlowSourceNew()
 	}
 
 	s := eventsim.New()
@@ -246,7 +279,10 @@ func Run(sc Scenario) (*Result, error) {
 		hosts[h] = transport.NewHost(s, h, func(pkt *netem.Packet) { net.Inject(host, pkt) })
 		hosts[h].SetPool(pool)
 	}
+	closeLag := teardownLag(net, sc.Faults)
 
+	// srecs is the run's packet-sample log (see the hook in openFlow).
+	var srecs []sampleRec
 	// remaining counts scheduled-but-unfinished flows; sourceDrained is
 	// true once no further arrivals can appear (immediately for the
 	// slice path, at the lazy source's exhaustion otherwise), so the
@@ -261,7 +297,7 @@ func Run(sc Scenario) (*Result, error) {
 		recvHost := hosts[f.Dst]
 		sndHost := hosts[f.Src]
 		snd := sndHost.OpenSender(sc.Transport, id, f.Size, func(done *transport.Sender) {
-			recvHost.CloseReceiver(id)
+			closeReceiver(recvHost, s.Now(), closeLag, id)
 			sc.Tracer.Record(trace.Event{
 				At: s.Now(), Kind: trace.FlowEnd, Flow: id,
 				Note: fmt.Sprintf("fct=%v retx=%d", done.Stats.FCT(), done.Stats.Retransmits),
@@ -278,28 +314,13 @@ func Run(sc Scenario) (*Result, error) {
 		})
 		snd.Stats.Deadline = f.Deadline
 		recv := recvHost.OpenReceiver(sc.Transport, id, f.Size, &snd.Stats)
-		if sc.SampleShortPackets && short {
+		// Samples are logged and replayed in a canonical order after the
+		// run (replaySampleRecs) rather than summed online: time-series
+		// bucket sums are float additions, and only a shared replay
+		// order makes them bit-identical to the sharded runner's.
+		if (sc.SampleShortPackets && short) || sc.CollectTimeSeries {
 			recv.Sample = func(ps transport.PacketSample) {
-				res.ShortSamples = append(res.ShortSamples, ps)
-			}
-		}
-		if sc.CollectTimeSeries {
-			prev := recv.Sample
-			recv.Sample = func(ps transport.PacketSample) {
-				if prev != nil {
-					prev(ps)
-				}
-				at := ps.At.Seconds()
-				ooo := 0.0
-				if ps.OutOfOrder {
-					ooo = 1
-				}
-				if short {
-					res.ShortQueueDelayUs.Add(at, ps.QueueDelay.Micros())
-					res.ShortOOORatio.Add(at, ooo)
-				} else {
-					res.LongOOORatio.Add(at, ooo)
-				}
+				srecs = append(srecs, sampleRec{ps: ps, short: short})
 			}
 		}
 		if res.Stream == nil {
@@ -326,7 +347,7 @@ func Run(sc Scenario) (*Result, error) {
 			return nil, err
 		}
 		if sc.Replication != nil && sc.Replication.Copies > 1 && f.Size <= sc.Replication.Threshold {
-			openReplicated(s, sc, res, hosts, f, i, &remaining)
+			openReplicated(s, sc, res, hosts, f, i, closeLag, &remaining)
 			continue
 		}
 		i := i
@@ -382,6 +403,9 @@ func Run(sc Scenario) (*Result, error) {
 	}
 
 	res.EndTime = s.Now()
+	if len(srecs) > 0 {
+		replaySampleRecs(&sc, res, srecs, res.EndTime)
+	}
 	if res.Stream != nil {
 		// Completed flows folded at their done callbacks; sweep the
 		// still-open senders so unfinished flows count too, exactly as
@@ -406,6 +430,57 @@ func Run(sc Scenario) (*Result, error) {
 		})
 	}
 	return res, nil
+}
+
+// minFabricDelayer is implemented by the partitionable topologies
+// (leaf-spine, fat-tree): the minimum propagation delay over their
+// boundary-capable links, independent of any partition.
+type minFabricDelayer interface {
+	MinFabricDelay() units.Time
+}
+
+// teardownLag returns the flow-teardown latency for a run on net: how
+// long after a sender's completion its receiver is torn down. Teardown
+// is modelled as a finite-latency event because an instantaneous close
+// would be a zero-latency cross-shard influence — a retransmission
+// still in flight when the sender finishes would be consumed by a
+// sharded run (receiver open until the next barrier) but discarded by
+// the single engine (receiver closed synchronously), and the extra
+// duplicate ACK perturbs every downstream per-packet RNG draw. Using
+// the minimum boundary-capable link delay — tightened by any
+// fault-scheduled delay override, exactly like the sharded runner's
+// lookahead — makes the lag (a) a pure function of scenario and
+// topology, so both modes schedule the identical close event, and (b)
+// at least as large as the sharded synchronization window, so a
+// completion crossing a barrier can always still schedule its close in
+// the future. Networks that cannot shard (custom BuildNetwork pipes)
+// return 0 and keep the synchronous close.
+func teardownLag(net topology.Network, sched faults.Schedule) units.Time {
+	md, ok := net.(minFabricDelayer)
+	if !ok {
+		return 0
+	}
+	lag := md.MinFabricDelay()
+	if lag <= 0 {
+		return 0
+	}
+	for _, ev := range sched {
+		if ev.Op == faults.OpDelay && ev.Delay < lag {
+			lag = ev.Delay
+		}
+	}
+	return lag
+}
+
+// closeReceiver tears down a flow's receiving endpoint at its sender's
+// completion: deferred by the teardown lag on partitionable networks
+// (see teardownLag), synchronous where no lag is defined.
+func closeReceiver(h *transport.Host, done, lag units.Time, id netem.FlowID) {
+	if lag > 0 {
+		h.CloseReceiverAt(done, lag, id)
+	} else {
+		h.CloseReceiver(id)
+	}
 }
 
 // installGoodputSampler periodically records each flow's acked-byte
@@ -442,7 +517,7 @@ func installGoodputSampler(s *eventsim.Sim, sc Scenario, res *Result) (flush fun
 // openReplicated realizes one flow as N racing copies (RepFlow). The
 // canonical FlowStats in res.Flows receives the winner's record; losers
 // keep draining but are otherwise ignored.
-func openReplicated(s *eventsim.Sim, sc Scenario, res *Result, hosts []*transport.Host, f workload.Flow, idx int, remaining *int) {
+func openReplicated(s *eventsim.Sim, sc Scenario, res *Result, hosts []*transport.Host, f workload.Flow, idx int, closeLag units.Time, remaining *int) {
 	canonical := &transport.FlowStats{
 		ID:       netem.FlowID{Src: f.Src, Dst: f.Dst, Port: idx},
 		Size:     f.Size,
@@ -459,7 +534,7 @@ func openReplicated(s *eventsim.Sim, sc Scenario, res *Result, hosts []*transpor
 			recvHost := hosts[f.Dst]
 			sndHost := hosts[f.Src]
 			snd := sndHost.OpenSender(sc.Transport, id, f.Size, func(done *transport.Sender) {
-				recvHost.CloseReceiver(id)
+				closeReceiver(recvHost, s.Now(), closeLag, id)
 				if won {
 					return
 				}

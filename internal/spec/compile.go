@@ -176,7 +176,7 @@ func (s *Spec) compile(materialize bool) (sim.Scenario, error) {
 	}
 
 	// Workload.
-	sc.Flows, sc.FlowSource = s.compileWorkload(c, kind, lsCfg, ftCfg, materialize)
+	sc.Flows, sc.FlowSourceNew = s.compileWorkload(c, kind, lsCfg, ftCfg, materialize)
 
 	// Faults address leaf-spine pairs; the fat-tree build has no
 	// notion of them.
@@ -207,6 +207,10 @@ func (s *Spec) compile(materialize bool) (sim.Scenario, error) {
 	}
 	sc.StopWhenDone = s.Run.StopWhenDone
 	sc.ShortThreshold = c.size("run.shortThreshold", s.Run.ShortThreshold)
+	if s.Run.Shards < 0 {
+		c.errf("run.shards", "must not be negative")
+	}
+	sc.Shards = s.Run.Shards
 
 	sc.SampleShortPackets = s.Outputs.SampleShortPackets
 	sc.CollectTimeSeries = s.Outputs.CollectTimeSeries
@@ -435,9 +439,11 @@ func (s *Spec) compileDeadlines(c *checker, path string, d *Deadlines) workload.
 
 // compileWorkload lowers the workload to either a materialized flow
 // slice or (under outputs.streamStats, for the kinds that support it)
-// a lazy workload.Source drawing the identical sequence. Exactly one
-// of the two returns is non-nil on success.
-func (s *Spec) compileWorkload(c *checker, topoKind string, lsCfg topology.Config, ftCfg topology.FatTreeConfig, materialize bool) ([]workload.Flow, workload.Source) {
+// a replayable source factory: every call draws the identical lazy
+// sequence, which is what lets a sharded run give each shard its own
+// copy of the stream. Exactly one of the two returns is non-nil on
+// success.
+func (s *Spec) compileWorkload(c *checker, topoKind string, lsCfg topology.Config, ftCfg topology.FatTreeConfig, materialize bool) ([]workload.Flow, func() workload.Source) {
 	w := s.Workload
 	wseed := s.Seed + 1
 	if w.Seed != nil {
@@ -498,7 +504,7 @@ func (s *Spec) compileWorkload(c *checker, topoKind string, lsCfg topology.Confi
 	return nil, nil
 }
 
-func (s *Spec) compilePoisson(c *checker, topoKind string, lsCfg topology.Config, wseed uint64, materialize bool) ([]workload.Flow, workload.Source) {
+func (s *Spec) compilePoisson(c *checker, topoKind string, lsCfg topology.Config, wseed uint64, materialize bool) ([]workload.Flow, func() workload.Source) {
 	w := s.Workload
 	if topoKind != "leafspine" {
 		c.errf("workload.kind", "poisson traffic needs a leafspine topology (load is defined against the leaf-spine fabric capacity)")
@@ -528,12 +534,23 @@ func (s *Spec) compilePoisson(c *checker, topoKind string, lsCfg topology.Config
 		LeafOf:        func(h int) int { return h / hostsPerLeaf },
 	}
 	if s.Outputs.StreamStats {
-		src, err := pc.Source(eventsim.NewRNG(wseed), w.Flows, 0)
-		if err != nil {
+		// Validate the stream configuration once so spec errors surface
+		// at compile time; the factory then re-creates the identical
+		// source on every call (each shard of a sharded run pumps its
+		// own copy).
+		if _, err := pc.Source(eventsim.NewRNG(wseed), w.Flows, 0); err != nil {
 			c.errf("workload", "%v", err)
 			return nil, nil
 		}
-		return nil, s.applyDeadlineOverrideSource(c, src)
+		decorate := s.deadlineOverrideDecorator(c)
+		flows := w.Flows
+		return nil, func() workload.Source {
+			src, err := pc.Source(eventsim.NewRNG(wseed), flows, 0)
+			if err != nil {
+				panic(fmt.Sprintf("spec: validated poisson source failed to rebuild: %v", err))
+			}
+			return decorate(src)
+		}
 	}
 	flows, err := pc.Generate(eventsim.NewRNG(wseed), w.Flows, 0)
 	if err != nil {
@@ -635,7 +652,7 @@ func (s *Spec) compileMix(c *checker, topoKind string, lsCfg topology.Config, ft
 	return s.applyDeadlineOverride(c, flows)
 }
 
-func (s *Spec) compileInterPod(c *checker, topoKind string, ftCfg topology.FatTreeConfig, wseed uint64, materialize bool) ([]workload.Flow, workload.Source) {
+func (s *Spec) compileInterPod(c *checker, topoKind string, ftCfg topology.FatTreeConfig, wseed uint64, materialize bool) ([]workload.Flow, func() workload.Source) {
 	w := s.Workload
 	if topoKind != "fattree" {
 		c.errf("workload.kind", "interpod traffic needs a fattree topology")
@@ -675,12 +692,20 @@ func (s *Spec) compileInterPod(c *checker, topoKind string, ftCfg topology.FatTr
 		DeadlineOnlyBelow: dlBelow,
 	}
 	if s.Outputs.StreamStats {
-		src, err := ipc.Source(eventsim.NewRNG(wseed))
-		if err != nil {
+		// Same factory shape as compilePoisson: validate once, rebuild
+		// identically per call.
+		if _, err := ipc.Source(eventsim.NewRNG(wseed)); err != nil {
 			c.errf("workload.interPod", "%v", err)
 			return nil, nil
 		}
-		return nil, s.applyDeadlineOverrideSource(c, src)
+		decorate := s.deadlineOverrideDecorator(c)
+		return nil, func() workload.Source {
+			src, err := ipc.Source(eventsim.NewRNG(wseed))
+			if err != nil {
+				panic(fmt.Sprintf("spec: validated interpod source failed to rebuild: %v", err))
+			}
+			return decorate(src)
+		}
 	}
 	flows, err := ipc.Generate(eventsim.NewRNG(wseed))
 	if err != nil {
@@ -714,22 +739,27 @@ func (s *Spec) applyDeadlineOverride(c *checker, flows []workload.Flow) []worklo
 	return flows
 }
 
-// applyDeadlineOverrideSource is the lazy counterpart: it decorates the
-// source instead of rewriting a slice, with identical per-flow
-// semantics (the decorator runs after each flow's draws, so the
-// underlying stream is undisturbed).
-func (s *Spec) applyDeadlineOverrideSource(c *checker, src workload.Source) workload.Source {
+// deadlineOverrideDecorator is the lazy counterpart of
+// applyDeadlineOverride: it validates the override once against the
+// checker and returns a pure decorator for streamed sources, with
+// identical per-flow semantics (the decorator runs after each flow's
+// draws, so the underlying stream is undisturbed). The returned
+// function is checker-free so source factories can call it long after
+// compilation — the sharded runner re-creates one source per shard.
+func (s *Spec) deadlineOverrideDecorator(c *checker) func(workload.Source) workload.Source {
 	o := s.Workload.DeadlineOverride
 	if o == nil {
-		return src
+		return func(src workload.Source) workload.Source { return src }
 	}
 	d := c.dur("workload.deadlineOverride.deadline", o.Deadline)
 	below := c.size("workload.deadlineOverride.onlyBelow", o.OnlyBelow)
 	if d <= 0 {
 		c.errf("workload.deadlineOverride.deadline", "must be a positive duration")
-		return src
+		return func(src workload.Source) workload.Source { return src }
 	}
-	return workload.OverrideDeadlines(src, d, below)
+	return func(src workload.Source) workload.Source {
+		return workload.OverrideDeadlines(src, d, below)
+	}
 }
 
 //simlint:allow sharedstate(immutable name table; never written after init)

@@ -301,6 +301,12 @@ type Run struct {
 	// ShortThreshold classifies flows for result aggregation (default
 	// 100KB).
 	ShortThreshold Size `json:"shortThreshold,omitempty"`
+	// Shards > 1 partitions the topology spatially and runs one shard
+	// per goroutine with deterministic cross-shard handoff; results are
+	// byte-identical at any shard count. Clamped to the topology's
+	// parallelism (leaf groups / pods); 0 or 1 runs the single-engine
+	// path.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Outputs selects optional measurement collection.

@@ -292,6 +292,44 @@ func TestMarshalLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestShardsRoundTrip pins the run.shards field: it survives
+// marshal/load, compiles into Scenario.Shards, and a negative count is
+// rejected at compile time.
+func TestShardsRoundTrip(t *testing.T) {
+	s := testSpec()
+	s.Run.Shards = 4
+	data, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Run.Shards != 4 {
+		t.Fatalf("shards lost in round trip: %d", back.Run.Shards)
+	}
+	sc, err := back.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Shards != 4 {
+		t.Fatalf("compile dropped shards: %d", sc.Shards)
+	}
+	// Zero (the default) must stay off the JSON so old specs re-marshal
+	// unchanged.
+	s.Run.Shards = 0
+	if data, err = s.Marshal(); err != nil {
+		t.Fatal(err)
+	} else if strings.Contains(string(data), "shards") {
+		t.Fatalf("zero shards serialized:\n%s", data)
+	}
+	s.Run.Shards = -1
+	if _, err := s.Compile(); err == nil {
+		t.Fatal("negative shards accepted")
+	}
+}
+
 func TestLoadRejectsUnknownFields(t *testing.T) {
 	_, err := LoadBytes([]byte(`{"version": 1, "nmae": "typo"}`))
 	if err == nil {
@@ -351,11 +389,16 @@ func TestCompileStreamStatsProducesSource(t *testing.T) {
 	if !lazy.StreamStats {
 		t.Fatal("StreamStats flag not carried into the scenario")
 	}
-	if lazy.Flows != nil || lazy.FlowSource == nil {
-		t.Fatalf("streaming compile: Flows %v FlowSource %v", lazy.Flows, lazy.FlowSource)
+	if lazy.Flows != nil || lazy.FlowSourceNew == nil {
+		t.Fatalf("streaming compile: Flows %v lazy factory %v", lazy.Flows, lazy.FlowSourceNew != nil)
 	}
-	if got := workload.Collect(lazy.FlowSource); !reflect.DeepEqual(got, eager.Flows) {
+	if got := workload.Collect(lazy.FlowSourceNew()); !reflect.DeepEqual(got, eager.Flows) {
 		t.Fatal("lazy poisson source diverges from the eager flows")
+	}
+	// The factory must be replayable: the sharded runner pumps one
+	// fresh copy per shard.
+	if got := workload.Collect(lazy.FlowSourceNew()); !reflect.DeepEqual(got, eager.Flows) {
+		t.Fatal("lazy poisson factory is not replayable")
 	}
 
 	// Interpod on fat-tree.
@@ -387,10 +430,10 @@ func TestCompileStreamStatsProducesSource(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if lazy.Flows != nil || lazy.FlowSource == nil {
-		t.Fatalf("streaming compile: Flows %v FlowSource %v", lazy.Flows, lazy.FlowSource)
+	if lazy.Flows != nil || lazy.FlowSourceNew == nil {
+		t.Fatalf("streaming compile: Flows %v lazy factory %v", lazy.Flows, lazy.FlowSourceNew != nil)
 	}
-	if got := workload.Collect(lazy.FlowSource); !reflect.DeepEqual(got, eager.Flows) {
+	if got := workload.Collect(lazy.FlowSourceNew()); !reflect.DeepEqual(got, eager.Flows) {
 		t.Fatal("lazy interpod source diverges from the eager flows")
 	}
 
@@ -401,9 +444,9 @@ func TestCompileStreamStatsProducesSource(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !sc.StreamStats || len(sc.Flows) == 0 || sc.FlowSource != nil {
-		t.Fatalf("streaming mix: StreamStats %v Flows %d FlowSource %v",
-			sc.StreamStats, len(sc.Flows), sc.FlowSource)
+	if !sc.StreamStats || len(sc.Flows) == 0 || sc.FlowSourceNew != nil {
+		t.Fatalf("streaming mix: StreamStats %v Flows %d lazy factory %v",
+			sc.StreamStats, len(sc.Flows), sc.FlowSourceNew != nil)
 	}
 }
 

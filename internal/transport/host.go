@@ -25,6 +25,13 @@ type Host struct {
 	// packets (endpoint handlers copy what they need and never retain
 	// the *Packet).
 	pool *netem.PacketPool
+
+	// closeKey is the host's construction-order keyed identity
+	// (eventsim.Sim.ReserveKeyedID), used by CloseReceiverAt to place
+	// deferred teardown events at a position that is a pure function of
+	// (completion time, host) — the same partition-invariance contract
+	// netem ports use for deliveries.
+	closeKey uint32
 }
 
 // NewHost creates a host with the given network injection function.
@@ -35,6 +42,7 @@ func NewHost(sim *eventsim.Sim, id int, out func(*netem.Packet)) *Host {
 		out:       out,
 		senders:   make(map[netem.FlowID]*Sender),
 		receivers: make(map[netem.FlowID]*Receiver),
+		closeKey:  sim.ReserveKeyedID(),
 	}
 }
 
@@ -85,6 +93,33 @@ func (h *Host) OpenReceiver(cfg Config, id netem.FlowID, size units.Bytes, stats
 // the flow is done, so endpoint maps do not grow with completed flows).
 func (h *Host) CloseReceiver(id netem.FlowID) {
 	delete(h.receivers, id)
+}
+
+// hostClose carries one deferred receiver teardown through the engine.
+type hostClose struct {
+	h  *Host
+	id netem.FlowID
+}
+
+func hostCloseFire(arg any) {
+	c := arg.(*hostClose)
+	c.h.CloseReceiver(c.id)
+}
+
+// CloseReceiverAt schedules CloseReceiver as a keyed event at done+lag,
+// ordered by (done, host): flow teardown modelled as a finite-latency
+// notification rather than an instantaneous side effect. The runner
+// uses a lag no smaller than the sharded runner's synchronization
+// window (and the key is built from the completion time, not the
+// scheduling time), so a cross-shard completion delivered at a later
+// barrier can re-create the identical event — which is what keeps a
+// late retransmission's fate (consumed by a still-open receiver versus
+// dropped by a closed one) byte-identical at every shard count. Two
+// flows completing at the same instant toward the same host collide on
+// the key; the closes are commutative map deletions, so their relative
+// order is immaterial.
+func (h *Host) CloseReceiverAt(done, lag units.Time, id netem.FlowID) {
+	h.sim.AtKey(done+lag, netem.DeliveryKey(done, h.closeKey), hostCloseFire, &hostClose{h: h, id: id})
 }
 
 // EachOpenSenderSorted visits the still-open senders in FlowID order —

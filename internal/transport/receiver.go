@@ -36,6 +36,16 @@ type Receiver struct {
 	lastAckSent units.Bytes
 	sentAnyAck  bool
 
+	// frozen is set once all payload bytes have arrived: from then on
+	// the receiver keeps answering (late retransmissions still get their
+	// ACKs, so sender dynamics are unchanged) but stops mutating Stats
+	// and emitting samples. Completion is receiver-local, so the freeze
+	// point — unlike the runner's teardown event — is independent of
+	// both the shard layout and when the close lands, which is what
+	// makes the receiver-half counters safe to snapshot at any moment
+	// at or after completion.
+	frozen bool
+
 	// Delayed-ACK state: how many in-order segments are unacknowledged
 	// and the timer that bounds the delay. lastCE tracks the CE bit of
 	// the previous data packet so a state change forces an immediate
@@ -99,10 +109,13 @@ func (r *Receiver) onSyn(pkt *netem.Packet) {
 // onData ingests one data segment and emits the corresponding ACK.
 func (r *Receiver) onData(pkt *netem.Packet) {
 	now := r.sim.Now()
-	r.Stats.PacketsRecv++
+	frozen := r.frozen
 	oneWay := now - pkt.SentAt
-	r.Stats.SumPktDelay += oneWay
-	r.Stats.DelaySamples++
+	if !frozen {
+		r.Stats.PacketsRecv++
+		r.Stats.SumPktDelay += oneWay
+		r.Stats.DelaySamples++
+	}
 	outOfOrder := false
 
 	switch {
@@ -131,17 +144,22 @@ func (r *Receiver) onData(pkt *netem.Packet) {
 		}
 	}
 
-	if r.Sample != nil {
-		r.Sample(PacketSample{
-			Flow:       r.id,
-			At:         now,
-			QueueLen:   pkt.MaxQueueSeen,
-			QueueDelay: pkt.QueueDelay,
-			OneWay:     oneWay,
-			OutOfOrder: outOfOrder,
-		})
+	if !frozen {
+		if r.Sample != nil {
+			r.Sample(PacketSample{
+				Flow:       r.id,
+				At:         now,
+				QueueLen:   pkt.MaxQueueSeen,
+				QueueDelay: pkt.QueueDelay,
+				OneWay:     oneWay,
+				OutOfOrder: outOfOrder,
+			})
+		}
+		r.Stats.SumQueueDelay += pkt.QueueDelay
+		if r.Complete() {
+			r.frozen = true
+		}
 	}
-	r.Stats.SumQueueDelay += pkt.QueueDelay
 
 	// Delayed ACK (when enabled): in-order segments with a stable CE
 	// state may share one cumulative ACK; anything irregular — gaps,
@@ -178,7 +196,7 @@ func (r *Receiver) emitAck(ce bool) {
 	if r.cfg.SACK {
 		r.fillSackBlocks(ack)
 	}
-	if r.sentAnyAck && r.rcvNxt == r.lastAckSent {
+	if r.sentAnyAck && r.rcvNxt == r.lastAckSent && !r.frozen {
 		r.Stats.DupAcksSent++
 	}
 	r.lastAckSent = r.rcvNxt
