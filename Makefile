@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-json race bench bench-all bench-gate bench-gate-self alloc-gates specs examples smoke largescale-smoke shard-smoke ci
+.PHONY: build test vet lint lint-json race bench bench-all bench-gate bench-gate-self alloc-gates specs examples smoke largescale-smoke shard-smoke serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -37,14 +37,14 @@ race:
 # figure-scale, large-scale-streaming and simlint benchmarks at one
 # iteration each, all merged into one "after" section. The raw lines
 # inside the JSON stay benchstat-compatible. Earlier baselines
-# (BENCH_4/6/7/8.json) are append-only history — the perf trajectory
+# (BENCH_4/6/7/8/9.json) are append-only history — the perf trajectory
 # the ROADMAP tracks — and must never be rewritten by later runs; a
 # future PR that moves tracked performance writes a new BENCH_<pr>.json.
 bench:
 	( $(GO) test -bench 'BenchmarkEventQueue|BenchmarkPortTransit' -benchtime 2s -run '^$$' . \
 	  && $(GO) test -bench 'BenchmarkFig8ShortFlows|BenchmarkFig10WebSearch|BenchmarkFig13VaryShort|BenchmarkLargeScaleStream' -benchtime 1x -timeout 30m -run '^$$' . \
 	  && $(GO) test -bench 'BenchmarkSimlint' -benchtime 1x -run '^$$' ./internal/lint ) \
-	| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_9.json -section after -require 'events/sec,flows/sec,peakRSS-MB'
+	| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_10.json -section after -require 'events/sec,flows/sec,peakRSS-MB'
 
 # bench-all runs every benchmark in every package once, without
 # touching any baseline — a quick "do they all still run" check.
@@ -99,6 +99,15 @@ examples:
 		$(GO) run ./$$d >/dev/null; \
 	done
 
+# serve-smoke exercises the run server end to end under the race
+# detector: submit over HTTP, stream SSE snapshots, fetch the
+# golden-pinned report, cancel a run mid-flight and verify the server
+# releases its goroutines. The serve example doubles as a second
+# end-to-end pass from a plain HTTP client's point of view.
+serve-smoke:
+	$(GO) test -race -count 1 -run 'TestServe' ./internal/serve
+	$(GO) run ./examples/serve >/dev/null
+
 # smoke runs one small end-to-end figure — the fault-injection
 # experiment, which crosses every layer (faults -> netem -> lb/core ->
 # sim -> experiments) — and discards the output; it only has to exit 0.
@@ -126,4 +135,4 @@ shard-smoke:
 # events/sec regression threshold against the tracked baselines
 # (opt-in: CI hardware varies, so the wall-clock gate is only
 # meaningful where the newest BENCH_<pr>.json was produced).
-ci: build vet lint test alloc-gates race specs examples smoke largescale-smoke shard-smoke $(if $(BENCH_GATE),bench-gate)
+ci: build vet lint test alloc-gates race specs examples smoke largescale-smoke shard-smoke serve-smoke $(if $(BENCH_GATE),bench-gate)

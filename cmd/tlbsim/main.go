@@ -8,6 +8,8 @@
 //	tlbsim -scheme letflow -workload mix -shorts 100 -longs 3
 //	tlbsim -spec examples/quickstart/spec.json
 //	tlbsim -spec 'specs/*.json' -workers 4
+//	tlbsim -spec examples/quickstart/spec.json -report run.html
+//	tlbsim -serve 127.0.0.1:8080
 //	tlbsim -list-schemes
 //
 // Every run is a scenario spec: the workload flags assemble one
@@ -26,12 +28,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"tlb/internal/lb"
+	"tlb/internal/report"
+	"tlb/internal/serve"
 	"tlb/internal/sim"
 	"tlb/internal/spec"
 	"tlb/internal/trace"
@@ -62,6 +68,9 @@ func main() {
 		shards    = flag.Int("shards", 0, "spatial shards per run (clamped per topology); results are byte-identical at any shard count")
 		dumpSpec  = flag.String("dump-spec", "", "write the flag-built scenario's spec JSON to this path (\"-\" = stdout) and exit")
 		list      = flag.Bool("list-schemes", false, "list registered schemes and their parameters, then exit")
+
+		serveAddr  = flag.String("serve", "", "serve the run-submission HTTP API on this address (e.g. 127.0.0.1:8080) instead of running locally")
+		reportPath = flag.String("report", "", "also write a self-contained HTML report of the run(s) to this path")
 	)
 	flag.Parse()
 
@@ -77,6 +86,7 @@ func main() {
 		deadline: units.Time(deadline.Nanoseconds()), traceN: *traceN,
 		specPaths: *specPaths, checkOnly: *checkOnly,
 		workers: *workers, shards: *shards, dumpSpec: *dumpSpec,
+		serveAddr: *serveAddr, reportPath: *reportPath,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "tlbsim:", err)
 		os.Exit(1)
@@ -95,9 +105,14 @@ type options struct {
 	checkOnly             bool
 	workers               int
 	shards                int
+	serveAddr             string
+	reportPath            string
 }
 
 func run(o options) error {
+	if o.serveAddr != "" {
+		return serveMode(o.serveAddr, o.workers)
+	}
 	if o.specPaths != "" {
 		files, err := expandSpecPaths(o.specPaths)
 		if err != nil {
@@ -106,7 +121,7 @@ func run(o options) error {
 		if o.checkOnly {
 			return checkSpecs(files)
 		}
-		return runSpecFiles(files, o.workers, o.shards, o.traceN)
+		return runSpecFiles(files, o.workers, o.shards, o.traceN, o.reportPath)
 	}
 	if o.checkOnly {
 		return fmt.Errorf("-check-spec needs -spec")
@@ -119,7 +134,19 @@ func run(o options) error {
 	if o.dumpSpec != "" {
 		return writeSpec(sp, o.dumpSpec)
 	}
-	return runOne(sp, o.shards, o.traceN)
+	return runOne(sp, o.shards, o.traceN, o.reportPath)
+}
+
+// serveMode runs the HTTP API until the process is killed.
+func serveMode(addr string, workers int) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := serve.New(serve.Options{Workers: workers})
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "tlbsim: serving on http://%s (POST /runs, GET /runs/{id}/events, GET /runs/{id}/report, DELETE /runs/{id})\n", ln.Addr())
+	return http.Serve(ln, srv)
 }
 
 // flagSpec assembles the scenario spec the workload flags describe.
@@ -235,29 +262,36 @@ func checkSpecs(files []string) error {
 
 // runSpecFiles compiles and runs the spec files; multi-file batches go
 // through the sweep worker pool and report each result in input order.
-func runSpecFiles(files []string, workers, shards, traceN int) error {
+func runSpecFiles(files []string, workers, shards, traceN int, reportPath string) error {
 	if len(files) == 1 {
 		sp, err := spec.Load(files[0])
 		if err != nil {
 			return err
 		}
-		return runOne(sp, shards, traceN)
+		return runOne(sp, shards, traceN, reportPath)
 	}
 	if traceN > 0 {
 		return fmt.Errorf("-trace needs a single scenario, got %d spec files", len(files))
 	}
+	specs := make([]*spec.Spec, len(files))
 	scenarios := make([]sim.Scenario, len(files))
+	tracers := make([]*trace.Tracer, len(files))
 	for i, f := range files {
 		sp, err := spec.Load(f)
 		if err != nil {
 			return err
 		}
+		specs[i] = sp
 		scenarios[i], err = sp.Compile()
 		if err != nil {
 			return err
 		}
 		if shards > 0 {
 			scenarios[i].Shards = shards
+		}
+		if reportPath != "" && len(sp.Faults) > 0 && scenarios[i].Shards <= 1 {
+			tracers[i] = trace.New(0).WithFilter(trace.Filter{Kinds: []trace.EventKind{trace.LinkFault}})
+			scenarios[i].Tracer = tracers[i]
 		}
 	}
 	results, err := sim.RunSweep(scenarios, sim.SweepOptions{
@@ -278,14 +312,24 @@ func runSpecFiles(files []string, workers, shards, traceN int) error {
 		if i > 0 {
 			fmt.Println()
 		}
-		report(res)
+		printResult(res)
+	}
+	if reportPath != "" {
+		items := make([]report.Item, len(results))
+		for i, res := range results {
+			items[i] = report.Item{
+				Scenario: specs[i].Name, Scheme: schemeLabel(specs[i]),
+				Result: res, Faults: tracers[i].Events(),
+			}
+		}
+		return writeReport(reportPath, report.Campaign{Title: "tlbsim batch", Items: items})
 	}
 	return nil
 }
 
 // runOne compiles and runs a single spec, with optional sharding and
 // tracing (mutually exclusive: the sharded runner rejects a tracer).
-func runOne(sp *spec.Spec, shards, traceN int) error {
+func runOne(sp *spec.Spec, shards, traceN int, reportPath string) error {
 	sc, err := sp.Compile()
 	if err != nil {
 		return err
@@ -294,21 +338,47 @@ func runOne(sp *spec.Spec, shards, traceN int) error {
 		sc.Shards = shards
 	}
 	var tr *trace.Tracer
-	if traceN > 0 {
+	switch {
+	case traceN > 0:
 		tr = trace.New(traceN)
 		sc.Tracer = tr
+	case reportPath != "" && len(sp.Faults) > 0 && sc.Shards <= 1:
+		// The report's fault timeline needs the LinkFault events.
+		sc.Tracer = trace.New(0).WithFilter(trace.Filter{Kinds: []trace.EventKind{trace.LinkFault}})
 	}
 	res, err := sim.Run(sc)
 	if err != nil {
 		return err
 	}
-	report(res)
+	printResult(res)
 	if tr != nil {
 		fmt.Println("--- trace ---")
 		tr.Dump(os.Stdout)
 		fmt.Println("--- trace summary ---")
 		tr.Summary(os.Stdout)
 	}
+	if reportPath != "" {
+		c := report.Campaign{Title: "tlbsim run " + sp.Name, Items: []report.Item{{
+			Scenario: sp.Name, Scheme: schemeLabel(sp),
+			Result: res, Faults: sc.Tracer.Events(),
+		}}}
+		return writeReport(reportPath, c)
+	}
+	return nil
+}
+
+func schemeLabel(sp *spec.Spec) string {
+	if sp.Scheme.Label != "" {
+		return sp.Scheme.Label
+	}
+	return sp.Scheme.Name
+}
+
+func writeReport(path string, c report.Campaign) error {
+	if err := os.WriteFile(path, report.HTML(c), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tlbsim: report written to %s\n", path)
 	return nil
 }
 
@@ -340,7 +410,7 @@ func listSchemes(w *os.File) {
 	}
 }
 
-func report(res *sim.Result) {
+func printResult(res *sim.Result) {
 	fmt.Printf("scenario        %s\n", res.Scenario)
 	fmt.Printf("sim time        %v\n", res.EndTime)
 	fmt.Printf("flows           %d (%d short, %d long), %d completed\n",

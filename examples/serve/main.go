@@ -1,0 +1,169 @@
+// Serve: drive the run server end to end, in process. The program
+// starts internal/serve on a loopback listener, submits a campaign of
+// six specs (ECMP, LetFlow and TLB, each healthy and with a spine
+// link failed at 200us), follows the live SSE event stream the way a
+// dashboard would, and saves the self-contained HTML report artifact.
+//
+// Run with:
+//
+//	go run ./examples/serve
+//
+// The same flow works against a standalone server started with
+// `tlbsim -serve 127.0.0.1:8080` — only the base URL changes.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	_ "embed"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+
+	_ "tlb/internal/core" // register the tlb scheme
+	"tlb/internal/serve"
+)
+
+//go:embed campaign.json
+var campaign []byte
+
+func main() {
+	out := flag.String("o", filepath.Join(os.TempDir(), "tlb-campaign.html"),
+		"where to write the HTML report")
+	flag.Parse()
+
+	srv := serve.New(serve.Options{Workers: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Submit the whole campaign in one POST; the response names the
+	// run and the endpoints to follow it on.
+	resp, err := http.Post(ts.URL+"/runs", "application/json", bytes.NewReader(campaign))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sub struct {
+		ID        string `json:"id"`
+		Scenarios int    `json:"scenarios"`
+		Events    string `json:"events"`
+		Report    string `json:"report"`
+	}
+	if err := decode(resp, http.StatusAccepted, &sub); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("run %q accepted: %d scenarios\n", sub.ID, sub.Scenarios)
+
+	// Follow the SSE stream until the terminal "end" frame. Snapshot
+	// frames carry live in-sim-time aggregates; done frames carry the
+	// final per-scenario numbers.
+	if err := follow(ts.URL + sub.Events); err != nil {
+		log.Fatal(err)
+	}
+
+	// The report is available once the run is done.
+	resp, err = http.Get(ts.URL + sub.Report)
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("report: %s: %s", resp.Status, doc)
+	}
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("report: %d bytes -> %s\n", len(doc), *out)
+}
+
+// follow prints one line per done frame (and a summary count of
+// snapshots) from the run's SSE stream, returning once the stream's
+// end frame arrives.
+func follow(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("events: %s", resp.Status)
+	}
+
+	var (
+		event     string
+		snapshots int
+	)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "snapshot":
+				snapshots++
+			case "done":
+				var ev struct {
+					Scenario  string  `json:"scenario"`
+					Completed int     `json:"completed"`
+					Total     int     `json:"total"`
+					SimTimeMs float64 `json:"simTimeMs"`
+					FlowsDone int     `json:"flowsDone"`
+					Error     string  `json:"error"`
+				}
+				if err := json.Unmarshal([]byte(data), &ev); err != nil {
+					return err
+				}
+				if ev.Error != "" {
+					fmt.Printf("[%d/%d] %-16s FAILED: %s\n",
+						ev.Completed, ev.Total, ev.Scenario, ev.Error)
+					continue
+				}
+				fmt.Printf("[%d/%d] %-16s %d flows in %.3fms of sim time\n",
+					ev.Completed, ev.Total, ev.Scenario, ev.FlowsDone, ev.SimTimeMs)
+			case "end":
+				var end struct {
+					Error string `json:"error"`
+				}
+				if err := json.Unmarshal([]byte(data), &end); err != nil {
+					return err
+				}
+				fmt.Printf("campaign finished: %d live snapshots streamed\n", snapshots)
+				if end.Error != "" {
+					return fmt.Errorf("campaign failed: %s", end.Error)
+				}
+				return nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("event stream ended without an end frame")
+}
+
+// decode checks the status code and unmarshals the JSON body.
+func decode(resp *http.Response, want int, v any) error {
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != want {
+		return fmt.Errorf("%s: %s", resp.Status, body)
+	}
+	return json.Unmarshal(body, v)
+}

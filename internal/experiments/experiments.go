@@ -87,18 +87,27 @@ func (o Options) logf(format string, args ...any) {
 // concurrent runner (sim.RunSweep) and returns the results in input
 // order. Progress lines ("prefix: [k/n] name (elapsed)") go to o.Log
 // as scenarios finish, so long sweeps stay visible.
+//
+// The figure runners consume the session observer stream directly
+// (terminal events only — figure sweeps want k/n lines, not periodic
+// snapshots, so snapshots stay disabled and the event-batch slicing is
+// provably output-neutral; see DESIGN.md §16).
 func (o Options) runBatch(prefix string, scs []sim.Scenario) ([]*sim.Result, error) {
 	return sim.RunSweep(scs, sim.SweepOptions{
-		Workers: o.Workers,
-		Progress: func(p sim.SweepProgress) {
-			if p.Err != nil {
+		Workers:       o.Workers,
+		SnapshotEvery: sim.NoSnapshots,
+		Observer: sim.ObserverFunc(func(ev sim.ProgressEvent) {
+			if ev.Kind != sim.ProgressDone {
+				return
+			}
+			if ev.Err != nil {
 				o.logf("%s: [%d/%d] %s FAILED after %v: %v",
-					prefix, p.Completed, p.Total, p.Scenario, p.Elapsed.Round(time.Millisecond), p.Err)
+					prefix, ev.Completed, ev.Total, ev.Scenario, ev.Elapsed.Round(time.Millisecond), ev.Err)
 				return
 			}
 			o.logf("%s: [%d/%d] %s (%v)",
-				prefix, p.Completed, p.Total, p.Scenario, p.Elapsed.Round(time.Millisecond))
-		},
+				prefix, ev.Completed, ev.Total, ev.Scenario, ev.Elapsed.Round(time.Millisecond))
+		}),
 	})
 }
 

@@ -32,9 +32,10 @@
 //	             local assignments.
 //	sharedstate  shard-readiness: no package-level mutable vars in
 //	             simulation packages, no go statements outside the
-//	             approved runner (internal/sim/sweep.go), and no
-//	             writes to captured variables inside closures passed
-//	             to sim.RunSweep/RunAll.
+//	             approved concurrent entry points (internal/sim/
+//	             sweep.go, internal/sim/shard.go, internal/serve/
+//	             server.go), and no writes to captured variables
+//	             inside closures passed to sim.RunSweep/RunAll.
 //
 // Test files are analyzed too, with per-rule exemptions: wall-clock
 // reads, map ranges, float equality, bare unit literals and unit
@@ -160,16 +161,18 @@ func Rules() []string {
 // _test.go files.
 func enforcedInTests(rule string) bool { return ruleTable[rule].InTests }
 
-// simPackages names the directories under internal/ whose code runs
-// inside simulations and must therefore be deterministic. Everything
-// else (internal/sim, internal/experiments, cmd/, examples/) is
-// harness: it may read the wall clock, but still may not use
-// math/rand.
+// simPackages names the directories under internal/ whose code must be
+// deterministic: everything that runs inside simulations, plus the
+// run-control layer (sim), the report renderer and the serve layer,
+// which route their one legitimate wall-clock need through the
+// sim.Clock seam (clock.go). Everything else (internal/experiments,
+// cmd/, examples/) is harness: it may read the wall clock, but still
+// may not use math/rand.
 var simPackages = map[string]bool{
 	"eventsim": true, "netem": true, "transport": true, "core": true,
 	"lb": true, "model": true, "workload": true, "topology": true,
 	"trace": true, "stats": true, "units": true, "faults": true,
-	"spec": true,
+	"spec": true, "sim": true, "report": true, "serve": true,
 }
 
 // isSimPackage reports whether the import path denotes simulation code:

@@ -1,0 +1,20 @@
+// Package sim is deterministic run-control code: wall-clock reads are
+// findings unless they sit on the one reasoned Clock seam, mirroring
+// the real module's clock.go. The annotated lines must produce no
+// findings; the bare read below must.
+package sim
+
+import "time"
+
+func WallClock() func() time.Duration {
+	//simlint:allow nowallclock(the run-control layer's single wall-clock seam)
+	start := time.Now()
+	return func() time.Duration {
+		//simlint:allow nowallclock(same seam: distance from the epoch captured above)
+		return time.Since(start)
+	}
+}
+
+func Bare() time.Time {
+	return time.Now() //WANT nowallclock
+}

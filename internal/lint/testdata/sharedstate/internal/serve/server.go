@@ -1,0 +1,23 @@
+// Package serve mirrors the real module's run-submission server: the
+// third approved concurrency entry point. Its per-run executor
+// goroutine is legal in server.go only — sibling files stay flagged
+// (see sse.go).
+package serve
+
+import "sync"
+
+type Server struct {
+	wg sync.WaitGroup
+}
+
+func (s *Server) Submit(run func()) {
+	s.wg.Add(1)
+	go func() { // legal: this file is the approved serve entry point
+		defer s.wg.Done()
+		run()
+	}()
+}
+
+func (s *Server) Close() {
+	s.wg.Wait()
+}

@@ -1,0 +1,9 @@
+package serve
+
+// Only server.go carries the serve exemption: a goroutine in any other
+// file of the package is still a finding, so concurrency cannot creep
+// beyond the audited entry point.
+
+func stream(emit func()) {
+	go emit() //WANT sharedstate
+}

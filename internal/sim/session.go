@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"tlb/internal/netem"
+	"tlb/internal/units"
+)
+
+// This file is the run-control side of the run-control/measurement
+// split: a Session owns one scenario's execution — start, cooperative
+// cancellation, periodic snapshots — while the measurement itself
+// stays in the runners (sim.go, shard.go) and the observer stream
+// (observer.go). Run, RunSweep and the sharded runner are all built on
+// it.
+//
+// Determinism: the session drives the engine in bounded RunUntil
+// windows instead of one call, which is behavior-neutral — RunUntil
+// executes events <= its deadline and then only advances the clock, so
+// slicing [0, MaxTime] into windows executes the identical event
+// sequence and lands on the identical end time (events observe the
+// clock only at their own timestamps). Cancellation and snapshots
+// happen strictly *between* windows, on the session goroutine, reading
+// copies — never from inside the event stream — so an attached
+// observer cannot perturb results, and a cancel discards the partial
+// run rather than returning a half-measured Result.
+
+// ErrCanceled is the terminal error of a canceled session, wrapped
+// with the scenario name; test with errors.Is.
+//
+//simlint:allow sharedstate(immutable error sentinel: written once at init, only ever compared via errors.Is)
+var ErrCanceled = errors.New("run canceled")
+
+// DefaultSnapshotEvery is the snapshot period (in simulation time)
+// used when an observer is attached without an explicit period. It is
+// also the cancellation-check granularity of every session, observer
+// or not.
+const DefaultSnapshotEvery = 10 * units.Millisecond
+
+// NoSnapshots disables periodic snapshots for a session that still
+// wants the terminal Done event (e.g. a sweep whose caller only
+// consumes per-scenario completions).
+const NoSnapshots units.Time = -1
+
+// SessionOptions configure one Session.
+type SessionOptions struct {
+	// Observer, when non-nil, receives the session's progress stream
+	// (see observer.go). Nil runs silently.
+	Observer Observer
+	// SnapshotEvery is the snapshot period in simulation time: 0 means
+	// DefaultSnapshotEvery, NoSnapshots (or any negative value)
+	// disables snapshots while keeping the Done event.
+	SnapshotEvery units.Time
+	// Clock supplies wall time for Elapsed and events/sec; nil means
+	// WallClock(). Injected so tests and the serve layer control the
+	// one wall-clock seam.
+	Clock Clock
+	// Index/Total stamp the session's position in a sweep onto its
+	// events; a solo session defaults to 0 of 1.
+	Index, Total int
+}
+
+// Session is the handle for one running scenario: Run executes it,
+// Cancel (from any goroutine) stops it at the next event-batch
+// boundary. A Session runs at most once.
+type Session struct {
+	sc   Scenario
+	opts SessionOptions
+
+	clock    Clock
+	start    time.Duration
+	canceled atomic.Bool
+
+	// Progress counters, written by the runner goroutine between event
+	// batches and copied into events; never read concurrently.
+	flowsStarted int64
+	flowsDone    int64
+	events       uint64
+
+	// Event-rate bookkeeping for EventsPerSec.
+	lastEvents uint64
+	lastWall   time.Duration
+}
+
+// NewSession prepares a session for one scenario. The scenario is
+// copied; later mutation of the caller's value does not affect the
+// session.
+func NewSession(sc Scenario, opts SessionOptions) *Session {
+	if opts.Clock == nil {
+		opts.Clock = WallClock()
+	}
+	if opts.Total <= 0 {
+		opts.Total = 1
+	}
+	if opts.SnapshotEvery == 0 {
+		opts.SnapshotEvery = DefaultSnapshotEvery
+	}
+	return &Session{sc: sc, opts: opts, clock: opts.Clock}
+}
+
+// Cancel requests cooperative cancellation: the run stops at the next
+// event-batch boundary, discards the partial result, and returns an
+// error wrapping ErrCanceled. Canceling before Run prevents the
+// simulation from being built at all. Safe from any goroutine, and
+// after completion (where it is a no-op).
+func (ss *Session) Cancel() { ss.canceled.Store(true) }
+
+// Canceled reports whether Cancel has been called.
+func (ss *Session) Canceled() bool { return ss.canceled.Load() }
+
+// Scenario returns the session's (defaulted) scenario copy.
+func (ss *Session) Scenario() *Scenario { return &ss.sc }
+
+// Run executes the session's scenario and returns its measurements,
+// exactly as the package-level Run does. Exactly one ProgressDone
+// event is emitted per Run call, error or not.
+func (ss *Session) Run() (*Result, error) {
+	ss.start = ss.clock()
+	ss.lastWall = ss.start
+	sc := &ss.sc
+	sc.withDefaults()
+	if err := ss.validate(); err != nil {
+		ss.emitDone(nil, err)
+		return nil, err
+	}
+	if ss.Canceled() {
+		err := ss.cancelErr()
+		ss.emitDone(nil, err)
+		return nil, err
+	}
+	var (
+		res *Result
+		err error
+	)
+	if sc.Shards > 1 {
+		res, err = runSharded(ss)
+	} else {
+		res, err = runSingle(ss)
+	}
+	ss.emitDone(res, err)
+	return res, err
+}
+
+// validate applies the shared scenario checks (shard-specific ones
+// live in runSharded). The messages are part of the API surface —
+// spec-layer tests match on them.
+func (ss *Session) validate() error {
+	sc := &ss.sc
+	if sc.Balancer == nil {
+		return fmt.Errorf("sim: scenario %q has no balancer", sc.Name)
+	}
+	if sc.FlowSource != nil && sc.FlowSourceNew != nil {
+		return fmt.Errorf("sim: scenario %q sets both FlowSource and FlowSourceNew", sc.Name)
+	}
+	hasSource := sc.FlowSource != nil || sc.FlowSourceNew != nil
+	if len(sc.Flows) == 0 && !hasSource {
+		return fmt.Errorf("sim: scenario %q has no flows", sc.Name)
+	}
+	if len(sc.Flows) > 0 && hasSource {
+		return fmt.Errorf("sim: scenario %q sets both Flows and FlowSource", sc.Name)
+	}
+	if sc.StreamStats {
+		if sc.SampleShortPackets || sc.CollectTimeSeries {
+			return fmt.Errorf("sim: scenario %q: StreamStats is incompatible with SampleShortPackets/CollectTimeSeries (they retain per-packet records)", sc.Name)
+		}
+		if sc.Replication != nil {
+			return fmt.Errorf("sim: scenario %q: StreamStats is incompatible with Replication (racing copies need retained records)", sc.Name)
+		}
+	}
+	if hasSource && sc.Replication != nil {
+		return fmt.Errorf("sim: scenario %q: Replication needs a materialized Flows slice", sc.Name)
+	}
+	return nil
+}
+
+func (ss *Session) cancelErr() error {
+	return fmt.Errorf("sim: scenario %q: %w", ss.sc.Name, ErrCanceled)
+}
+
+// observing reports whether periodic snapshots should be produced.
+func (ss *Session) observing() bool {
+	return ss.opts.Observer != nil && ss.opts.SnapshotEvery > 0
+}
+
+// window is the RunUntil slice width: the snapshot period when
+// observing, the default cancellation-check granularity otherwise.
+func (ss *Session) window() units.Time {
+	if ss.opts.SnapshotEvery > 0 {
+		return ss.opts.SnapshotEvery
+	}
+	return DefaultSnapshotEvery
+}
+
+// emit forwards one event to the observer, if any.
+func (ss *Session) emit(ev ProgressEvent) {
+	if ss.opts.Observer != nil {
+		ss.opts.Observer.OnProgress(ev)
+	}
+}
+
+// baseEvent stamps the fields every event of this session shares.
+func (ss *Session) baseEvent(kind ProgressKind) ProgressEvent {
+	return ProgressEvent{
+		Kind:         kind,
+		Index:        ss.opts.Index,
+		Total:        ss.opts.Total,
+		Scenario:     ss.sc.Name,
+		Scheme:       ss.sc.SchemeName,
+		Elapsed:      ss.clock() - ss.start,
+		FlowsStarted: ss.flowsStarted,
+		FlowsDone:    ss.flowsDone,
+	}
+}
+
+// rate returns events/sec over the wall interval since the previous
+// call, advancing the interval bookkeeping.
+func (ss *Session) rate(events uint64) float64 {
+	now := ss.clock()
+	dE := events - ss.lastEvents
+	dT := now - ss.lastWall
+	ss.lastEvents, ss.lastWall = events, now
+	if dT <= 0 {
+		return 0
+	}
+	return float64(dE) / dT.Seconds()
+}
+
+// emitDone sends the session's terminal event.
+func (ss *Session) emitDone(res *Result, err error) {
+	if ss.opts.Observer == nil {
+		return
+	}
+	ev := ss.baseEvent(ProgressDone)
+	ev.Completed = 1
+	ev.Err = err
+	ev.Events = ss.events
+	ev.EventsPerSec = ss.rate(ss.events)
+	if res != nil {
+		ev.SimTime = res.EndTime
+		ev.Classes = resultClasses(res)
+		ev.Uplinks = res.Uplinks
+	}
+	ss.emit(ev)
+}
+
+// resultClasses reduces a finished run to its per-class aggregates:
+// the streaming aggregate's exact clone when the run streamed, a fresh
+// fold over the retained records otherwise.
+func resultClasses(res *Result) *StreamAgg {
+	if res.Stream != nil {
+		return res.Stream.Clone()
+	}
+	agg := &StreamAgg{}
+	for _, fs := range res.Flows {
+		agg.Fold(fs, fs.Size <= res.ShortThreshold, res.EndTime)
+	}
+	return agg
+}
+
+// portSnapshots copies the current totals of the balanced (uplink)
+// ports — the same reduction the end-of-run Result performs, reused by
+// mid-run snapshots, where reading the counters is safe because the
+// engine is parked at a batch boundary.
+func portSnapshots(ports []*netem.Port) []PortSnapshot {
+	out := make([]PortSnapshot, 0, len(ports))
+	for _, p := range ports {
+		out = append(out, PortSnapshot{
+			Label:    p.Label(),
+			BusyTime: p.BusyTime(),
+			Queue:    p.Queue().Stats(),
+			Link:     p.Link(),
+		})
+	}
+	return out
+}

@@ -161,15 +161,24 @@ type shardState struct {
 	rFinal map[int]transport.FlowStats
 
 	agg *StreamAgg // per-shard fold target (stream mode)
+	// obsAgg mirrors agg for observed record-mode runs: snapshots want
+	// per-class aggregates even when records are retained. Folded at
+	// the same points as agg, read only at barriers.
+	obsAgg *StreamAgg
+	// started/done count sender-owned flow opens and completions for
+	// the progress stream, summed across shards at barriers.
+	started int64
+	done    int64
 
 	openLog []openRec
 	samples []sampleRec
 	ticks   []tickRec
 }
 
-// runSharded is the Shards > 1 entry point; Run has already applied
-// defaults and the shared validation.
-func runSharded(sc Scenario) (*Result, error) {
+// runSharded is the Shards > 1 entry point; the session has already
+// applied defaults and the shared validation.
+func runSharded(ss *Session) (*Result, error) {
+	sc := &ss.sc
 	if sc.Replication != nil {
 		return nil, fmt.Errorf("sim: scenario %q: Shards > 1 is incompatible with Replication (racing copies share one record); run with Shards: 1", sc.Name)
 	}
@@ -183,14 +192,14 @@ func runSharded(sc Scenario) (*Result, error) {
 	// Build shard 0 first to learn the partition after clamping to the
 	// topology's parallelism; a single-shard partition falls back to
 	// the exact single-engine path.
-	first, la, err := buildShard(&sc, 0)
+	first, la, err := buildShard(sc, 0)
 	if err != nil {
 		return nil, err
 	}
 	n := first.part.Shards
 	if n <= 1 {
 		sc.Shards = 1
-		return Run(sc)
+		return runSingle(ss)
 	}
 	// The lookahead is the minimum boundary propagation delay, further
 	// tightened by any scheduled OpDelay — a fault may shrink a
@@ -220,12 +229,15 @@ func runSharded(sc Scenario) (*Result, error) {
 	shards := make([]*shardState, n)
 	shards[0] = first
 	for i := 1; i < n; i++ {
-		if shards[i], _, err = buildShard(&sc, i); err != nil {
+		if shards[i], _, err = buildShard(sc, i); err != nil {
 			return nil, err
 		}
 	}
 	for _, st := range shards {
 		st.closeLag = lag
+		if ss.observing() && !sc.StreamStats {
+			st.obsAgg = &StreamAgg{}
+		}
 		if err := st.scheduleFlows(); err != nil {
 			return nil, err
 		}
@@ -233,6 +245,16 @@ func runSharded(sc Scenario) (*Result, error) {
 			st.installTicker()
 		}
 	}
+
+	// Snapshot plumbing: the uplink port objects and their global
+	// owner assignment are topology structure, fixed before any event
+	// runs — captured here so barrier snapshots and the final Result
+	// assemble the identical port set.
+	ports := make([][]*netem.Port, n)
+	for i, st := range shards {
+		ports[i] = st.net.BalancedPorts()
+	}
+	owners := shards[0].net.BalancedPortOwners(shards[0].part)
 
 	ins := make([]chan shardEpochIn, n)
 	outs := make([]chan shardEpochOut, n)
@@ -255,12 +277,20 @@ func runSharded(sc Scenario) (*Result, error) {
 	pendingH := make([][]topology.Handoff, n)
 	pendingC := make([][]closeMsg, n)
 	maxT := sc.MaxTime
+	window := ss.window()
+	nextSnap := window
 	var (
 		cur     units.Time
 		endTime units.Time
 		runErr  error
 	)
 	for {
+		// Cooperative cancel, checked between windows like the
+		// single-engine drive loop checks between batches.
+		if ss.Canceled() {
+			stopWorkers()
+			return nil, ss.cancelErr()
+		}
 		deadline := cur + la - 1
 		if deadline > maxT || deadline < cur {
 			deadline = maxT
@@ -298,6 +328,15 @@ func runSharded(sc Scenario) (*Result, error) {
 				next, hasNext = o.nextAt, true
 			}
 		}
+		// Every shard is parked at the barrier now (blocked on its next
+		// work order), so reading shard-private state here is race-free:
+		// the happens-before chain runs through the outs receive above.
+		ss.flowsStarted, ss.flowsDone, ss.events = 0, 0, 0
+		for _, st := range shards {
+			ss.flowsStarted += st.started
+			ss.flowsDone += st.done
+			ss.events += st.sim.Executed()
+		}
 		if runErr != nil {
 			stopWorkers()
 			return nil, runErr
@@ -309,6 +348,35 @@ func runSharded(sc Scenario) (*Result, error) {
 		if deadline >= maxT {
 			endTime = maxT
 			break
+		}
+		if ss.observing() && deadline >= nextSnap {
+			// Barrier snapshot: merge the per-shard aggregate copies —
+			// exact, the same reduction the final Result performs — and
+			// snapshot the uplink ports in their global order.
+			ev := ss.baseEvent(ProgressSnapshot)
+			ev.SimTime = deadline
+			ev.Events = ss.events
+			ev.EventsPerSec = ss.rate(ss.events)
+			agg := &StreamAgg{}
+			for _, st := range shards {
+				agg.Merge(st.agg)
+				agg.Merge(st.obsAgg)
+			}
+			ev.Classes = agg
+			ev.Uplinks = make([]PortSnapshot, 0, len(owners))
+			for i, o := range owners {
+				p := ports[o][i]
+				ev.Uplinks = append(ev.Uplinks, PortSnapshot{
+					Label:    p.Label(),
+					BusyTime: p.BusyTime(),
+					Queue:    p.Queue().Stats(),
+					Link:     p.Link(),
+				})
+			}
+			ss.emit(ev)
+			for nextSnap <= deadline {
+				nextSnap += window
+			}
 		}
 		// Jump the next window's start over the idle gap: the earliest
 		// pending event or undelivered handoff anywhere. The width
@@ -404,18 +472,16 @@ func runSharded(sc Scenario) (*Result, error) {
 		}
 	}
 
-	replaySamples(&sc, res, shards, endTime)
-	replayGoodput(&sc, res, shards, opens, endTime)
+	replaySamples(sc, res, shards, endTime)
+	replayGoodput(sc, res, shards, opens, endTime)
 
-	ports := make([][]*netem.Port, n)
-	for i, st := range shards {
+	for _, st := range shards {
 		res.Drops += st.net.Drops()
 		st.net.EveryOwnedQueue(st.part, st.id, func(_ string, q *netem.Queue) {
 			res.FaultDrops += q.Stats().FaultDropped
 		})
-		ports[i] = st.net.BalancedPorts()
 	}
-	for i, o := range shards[0].net.BalancedPortOwners(shards[0].part) {
+	for i, o := range owners {
 		p := ports[o][i]
 		res.Uplinks = append(res.Uplinks, PortSnapshot{
 			Label:    p.Label(),
@@ -587,6 +653,7 @@ func (st *shardState) fail(err error) {
 // next barrier.
 func (st *shardState) flowDone() {
 	st.remaining--
+	st.done++
 	if now := st.sim.Now(); now > st.lastDone {
 		st.lastDone = now
 	}
@@ -608,12 +675,16 @@ func (st *shardState) openFlow(i int, f workload.Flow) {
 			if st.agg != nil {
 				st.agg.Fold(&done.Stats, short, st.sim.Now())
 			}
+			if st.obsAgg != nil {
+				st.obsAgg.Fold(&done.Stats, short, st.sim.Now())
+			}
 			st.flowDone()
 		})
 		snd.Stats.Deadline = f.Deadline
 		recv := st.hosts[f.Dst].OpenReceiver(st.cfg, id, f.Size, &snd.Stats)
 		st.hookSamples(recv, short)
 		st.logOpen(i, short, false, &snd.Stats)
+		st.started++
 		snd.Start()
 	case srcHere:
 		// Sender half of a cross-shard flow: completion travels to the
@@ -627,6 +698,7 @@ func (st *shardState) openFlow(i int, f workload.Flow) {
 		})
 		snd.Stats.Deadline = f.Deadline
 		st.logOpen(i, short, true, &snd.Stats)
+		st.started++
 		snd.Start()
 	case dstHere:
 		// Receiver half: a fresh record only the receiver writes,
@@ -748,11 +820,17 @@ func (st *shardState) applyCloses(closes []closeMsg, schedule bool) {
 		}
 		rs := st.rstats[c.idx]
 		delete(st.rstats, c.idx)
-		if st.agg != nil {
+		if st.agg != nil || st.obsAgg != nil {
 			merged := c.sender
 			addRecvHalf(&merged, rs)
-			st.agg.Fold(&merged, c.short, c.at)
-		} else if rs != nil {
+			if st.agg != nil {
+				st.agg.Fold(&merged, c.short, c.at)
+			}
+			if st.obsAgg != nil {
+				st.obsAgg.Fold(&merged, c.short, c.at)
+			}
+		}
+		if st.agg == nil && rs != nil {
 			st.rFinal[c.idx] = *rs
 		}
 	}

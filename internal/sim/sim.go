@@ -190,37 +190,19 @@ type Result struct {
 	LongGoodputBytes  *stats.TimeSeries
 }
 
-// Run executes the scenario and returns its measurements.
+// Run executes the scenario and returns its measurements. It is the
+// observer-less session path, equivalent to
+// NewSession(sc, SessionOptions{}).Run(); use a Session directly for
+// cancellation or a progress stream (see session.go, observer.go).
 func Run(sc Scenario) (*Result, error) {
-	sc.withDefaults()
-	if sc.Balancer == nil {
-		return nil, fmt.Errorf("sim: scenario %q has no balancer", sc.Name)
-	}
-	if sc.FlowSource != nil && sc.FlowSourceNew != nil {
-		return nil, fmt.Errorf("sim: scenario %q sets both FlowSource and FlowSourceNew", sc.Name)
-	}
-	hasSource := sc.FlowSource != nil || sc.FlowSourceNew != nil
-	if len(sc.Flows) == 0 && !hasSource {
-		return nil, fmt.Errorf("sim: scenario %q has no flows", sc.Name)
-	}
-	if len(sc.Flows) > 0 && hasSource {
-		return nil, fmt.Errorf("sim: scenario %q sets both Flows and FlowSource", sc.Name)
-	}
-	if sc.StreamStats {
-		if sc.SampleShortPackets || sc.CollectTimeSeries {
-			return nil, fmt.Errorf("sim: scenario %q: StreamStats is incompatible with SampleShortPackets/CollectTimeSeries (they retain per-packet records)", sc.Name)
-		}
-		if sc.Replication != nil {
-			return nil, fmt.Errorf("sim: scenario %q: StreamStats is incompatible with Replication (racing copies need retained records)", sc.Name)
-		}
-	}
-	if hasSource && sc.Replication != nil {
-		return nil, fmt.Errorf("sim: scenario %q: Replication needs a materialized Flows slice", sc.Name)
-	}
-	if sc.Shards > 1 {
-		return runSharded(sc)
-	}
-	// Single-engine path: a factory workload is consumed as one source.
+	return NewSession(sc, SessionOptions{}).Run()
+}
+
+// runSingle is the single-engine runner. The session has already
+// applied defaults and the shared validation.
+func runSingle(ss *Session) (*Result, error) {
+	sc := &ss.sc
+	// A factory workload is consumed as one source.
 	if sc.FlowSource == nil && sc.FlowSourceNew != nil {
 		sc.FlowSource = sc.FlowSourceNew()
 	}
@@ -234,6 +216,12 @@ func Run(sc Scenario) (*Result, error) {
 	pool := netem.NewPacketPool()
 	sc.Transport.Pool = pool
 
+	// stopped mirrors the engine's one-shot stop flag: RunUntil consumes
+	// a pending Stop on return, so the session's sliced drive loop needs
+	// its own durable record that the run decided to end.
+	stopped := false
+	stop := func() { stopped = true; s.Stop() }
+
 	res := &Result{
 		Scenario:       sc.Name,
 		Scheme:         sc.SchemeName,
@@ -241,6 +229,14 @@ func Run(sc Scenario) (*Result, error) {
 	}
 	if sc.StreamStats {
 		res.Stream = &StreamAgg{}
+	}
+	// obsAgg mirrors the streaming fold for observed record-mode runs:
+	// snapshots want per-class aggregates even when the run retains its
+	// records. It only ever reads completed records, so the simulation
+	// cannot see it.
+	var obsAgg *StreamAgg
+	if ss.observing() && !sc.StreamStats {
+		obsAgg = &StreamAgg{}
 	}
 	if sc.CollectTimeSeries {
 		w := sc.TimeBucket.Seconds()
@@ -307,9 +303,13 @@ func Run(sc Scenario) (*Result, error) {
 				// endpoint, so nothing retains the record.
 				res.Stream.Fold(&done.Stats, short, s.Now())
 			}
+			if obsAgg != nil {
+				obsAgg.Fold(&done.Stats, short, s.Now())
+			}
+			ss.flowsDone++
 			remaining--
 			if sc.StopWhenDone && remaining == 0 && sourceDrained {
-				s.Stop()
+				stop()
 			}
 		})
 		snd.Stats.Deadline = f.Deadline
@@ -330,6 +330,7 @@ func Run(sc Scenario) (*Result, error) {
 			At: s.Now(), Kind: trace.FlowStart, Flow: id,
 			Note: f.Size.String(),
 		})
+		ss.flowsStarted++
 		snd.Start()
 	}
 
@@ -347,7 +348,7 @@ func Run(sc Scenario) (*Result, error) {
 			return nil, err
 		}
 		if sc.Replication != nil && sc.Replication.Copies > 1 && f.Size <= sc.Replication.Threshold {
-			openReplicated(s, sc, res, hosts, f, i, closeLag, &remaining)
+			openReplicated(s, ss, obsAgg, res, hosts, f, i, closeLag, &remaining, stop)
 			continue
 		}
 		i := i
@@ -361,12 +362,12 @@ func Run(sc Scenario) (*Result, error) {
 		pump = func(i int, f workload.Flow) {
 			if err := checkFlow(i, f); err != nil {
 				runErr = err
-				s.Stop()
+				stop()
 				return
 			}
 			if f.Start < s.Now() {
 				runErr = fmt.Errorf("sim: FlowSource went backwards: flow %d starts at %v, now %v", i, f.Start, s.Now())
-				s.Stop()
+				stop()
 				return
 			}
 			remaining++
@@ -394,7 +395,47 @@ func Run(sc Scenario) (*Result, error) {
 		flushGoodput = installGoodputSampler(s, sc, res)
 	}
 
-	s.RunUntil(sc.MaxTime)
+	// The run-control loop: drive the engine in bounded windows so the
+	// session can check cancellation and emit snapshots strictly between
+	// event batches. Slicing is behavior-neutral (see session.go): the
+	// event sequence and the final clock are identical to one
+	// RunUntil(MaxTime) call, observer attached or not.
+	window := ss.window()
+	next := window
+	canceled := false
+	for !stopped {
+		if ss.Canceled() {
+			canceled = true
+			break
+		}
+		d := sc.MaxTime
+		if next < d {
+			d = next
+		}
+		s.RunUntil(d)
+		if stopped || runErr != nil || s.Now() >= sc.MaxTime {
+			break
+		}
+		if ss.observing() && s.Now() >= next {
+			ss.events = s.Executed()
+			ev := ss.baseEvent(ProgressSnapshot)
+			ev.SimTime = s.Now()
+			ev.Events = ss.events
+			ev.EventsPerSec = ss.rate(ss.events)
+			if res.Stream != nil {
+				ev.Classes = res.Stream.Clone()
+			} else if obsAgg != nil {
+				ev.Classes = obsAgg.Clone()
+			}
+			ev.Uplinks = portSnapshots(net.BalancedPorts())
+			ss.emit(ev)
+		}
+		next += window
+	}
+	ss.events = s.Executed()
+	if canceled {
+		return nil, ss.cancelErr()
+	}
 	if runErr != nil {
 		return nil, runErr
 	}
@@ -404,7 +445,7 @@ func Run(sc Scenario) (*Result, error) {
 
 	res.EndTime = s.Now()
 	if len(srecs) > 0 {
-		replaySampleRecs(&sc, res, srecs, res.EndTime)
+		replaySampleRecs(sc, res, srecs, res.EndTime)
 	}
 	if res.Stream != nil {
 		// Completed flows folded at their done callbacks; sweep the
@@ -421,14 +462,7 @@ func Run(sc Scenario) (*Result, error) {
 	net.EveryQueue(func(_ string, q *netem.Queue) {
 		res.FaultDrops += q.Stats().FaultDropped
 	})
-	for _, p := range net.BalancedPorts() {
-		res.Uplinks = append(res.Uplinks, PortSnapshot{
-			Label:    p.Label(),
-			BusyTime: p.BusyTime(),
-			Queue:    p.Queue().Stats(),
-			Link:     p.Link(),
-		})
-	}
+	res.Uplinks = portSnapshots(net.BalancedPorts())
 	return res, nil
 }
 
@@ -487,7 +521,7 @@ func closeReceiver(h *transport.Host, done, lag units.Time, id netem.FlowID) {
 // deltas into the goodput time series, bucketized by the sample time.
 // The returned flush captures the final partial bucket after the run
 // stops (completion can land between ticks).
-func installGoodputSampler(s *eventsim.Sim, sc Scenario, res *Result) (flush func()) {
+func installGoodputSampler(s *eventsim.Sim, sc *Scenario, res *Result) (flush func()) {
 	lastAcked := make(map[int]units.Bytes) // index in res.Flows
 	sample := func() {
 		at := s.Now().Seconds()
@@ -517,7 +551,8 @@ func installGoodputSampler(s *eventsim.Sim, sc Scenario, res *Result) (flush fun
 // openReplicated realizes one flow as N racing copies (RepFlow). The
 // canonical FlowStats in res.Flows receives the winner's record; losers
 // keep draining but are otherwise ignored.
-func openReplicated(s *eventsim.Sim, sc Scenario, res *Result, hosts []*transport.Host, f workload.Flow, idx int, closeLag units.Time, remaining *int) {
+func openReplicated(s *eventsim.Sim, ss *Session, obsAgg *StreamAgg, res *Result, hosts []*transport.Host, f workload.Flow, idx int, closeLag units.Time, remaining *int, stop func()) {
+	sc := &ss.sc
 	canonical := &transport.FlowStats{
 		ID:       netem.FlowID{Src: f.Src, Dst: f.Dst, Port: idx},
 		Size:     f.Size,
@@ -547,9 +582,13 @@ func openReplicated(s *eventsim.Sim, sc Scenario, res *Result, hosts []*transpor
 					At: s.Now(), Kind: trace.FlowEnd, Flow: canonical.ID,
 					Note: fmt.Sprintf("repflow winner fct=%v", done.Stats.FCT()),
 				})
+				if obsAgg != nil {
+					obsAgg.Fold(canonical, f.Size <= sc.ShortThreshold, s.Now())
+				}
+				ss.flowsDone++
 				*remaining--
 				if sc.StopWhenDone && *remaining == 0 {
-					s.Stop()
+					stop()
 				}
 			})
 			snd.Stats.Deadline = f.Deadline
@@ -561,5 +600,6 @@ func openReplicated(s *eventsim.Sim, sc Scenario, res *Result, hosts []*transpor
 			Flow: netem.FlowID{Src: f.Src, Dst: f.Dst, Port: idx},
 			Note: fmt.Sprintf("%v x%d replicas", f.Size, copies),
 		})
+		ss.flowsStarted++
 	})
 }

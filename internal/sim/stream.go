@@ -66,6 +66,17 @@ func foldOne(a *stats.FlowAgg, fs *transport.FlowStats, end units.Time) {
 	a.DelaySamples += fs.DelaySamples
 }
 
+// Clone returns an independent copy: counters and the Online moments
+// copy exactly (merging into a zero accumulator is assignment), the
+// sketch clone is bucket-for-bucket equal. Progress snapshots hand
+// clones to observers so retaining or merging them never touches the
+// live fold target.
+func (st *StreamAgg) Clone() *StreamAgg {
+	c := &StreamAgg{}
+	c.Merge(st)
+	return c
+}
+
 // Merge folds another run shard's aggregates into this one, so sweep
 // workers can reduce per-shard StreamAggs without retaining records.
 func (st *StreamAgg) Merge(o *StreamAgg) {

@@ -5,7 +5,9 @@ import (
 	"strings"
 	"testing"
 
+	"tlb/internal/eventsim"
 	"tlb/internal/lb"
+	"tlb/internal/netem"
 	"tlb/internal/transport"
 	"tlb/internal/units"
 	"tlb/internal/workload"
@@ -105,5 +107,144 @@ func TestRunSweepEmptyBatch(t *testing.T) {
 	results, err := RunAll(nil, 4)
 	if err != nil || len(results) != 0 {
 		t.Fatalf("empty batch: %v, %d results", err, len(results))
+	}
+}
+
+// TestRunSweepRecoversPanickingScenario pins the worker-pool bugfix:
+// a panic inside a scenario's Run used to kill its worker, leaving the
+// unbuffered job dispatch blocked forever. With Workers:1 and the
+// panicking scenario first, this test deadlocked before the recover —
+// now the panic becomes that scenario's SweepFailure and the rest of
+// the batch still runs.
+func TestRunSweepRecoversPanickingScenario(t *testing.T) {
+	boom := sweepScenario("boom", 1)
+	boom.Balancer = func(s *eventsim.Sim, rng *eventsim.RNG, ports []*netem.Port) lb.Balancer {
+		panic("factory exploded")
+	}
+	scenarios := []Scenario{boom, sweepScenario("after-a", 2), sweepScenario("after-b", 3)}
+
+	var seen []SweepProgress
+	results, err := RunSweep(scenarios, SweepOptions{
+		Workers: 1,
+		//simlint:allow sharedstate(RunSweep serializes Progress calls under its mutex)
+		Progress: func(p SweepProgress) { seen = append(seen, p) },
+	})
+	var se *SweepError
+	if !errors.As(err, &se) {
+		t.Fatalf("error is %T, want *SweepError", err)
+	}
+	if len(se.Failures) != 1 || se.Failures[0].Index != 0 {
+		t.Fatalf("failures = %+v, want exactly the panicking scenario", se.Failures)
+	}
+	for _, want := range []string{"boom", "panicked", "factory exploded"} {
+		if !strings.Contains(se.Failures[0].Err.Error(), want) {
+			t.Fatalf("panic failure missing %q: %v", want, se.Failures[0].Err)
+		}
+	}
+	if results[0] != nil || results[1] == nil || results[2] == nil {
+		t.Fatal("scenarios after the panic did not complete")
+	}
+	// The synthesized terminal event keeps the one-Done-per-scenario
+	// invariant: the progress adapter still fires for all three.
+	if len(seen) != 3 {
+		t.Fatalf("%d progress calls, want 3", len(seen))
+	}
+	if seen[0].Index != 0 || seen[0].Err == nil {
+		t.Fatalf("first progress call = %+v, want the panic failure", seen[0])
+	}
+}
+
+// TestSweepErrorTraversal: errors.Is and errors.As reach the
+// individual failures of a multi-failure sweep through
+// SweepError.Unwrap.
+func TestSweepErrorTraversal(t *testing.T) {
+	bad1 := sweepScenario("bad-one", 1)
+	bad1.Flows = nil
+	bad2 := sweepScenario("bad-two", 2)
+	bad2.Balancer = nil
+	_, err := RunAll([]Scenario{bad1, sweepScenario("ok", 3), bad2}, 2)
+
+	var se *SweepError
+	if !errors.As(err, &se) {
+		t.Fatalf("errors.As found no *SweepError in %T", err)
+	}
+	unwrapped := se.Unwrap()
+	if len(unwrapped) != 2 {
+		t.Fatalf("Unwrap returned %d errors, want 2", len(unwrapped))
+	}
+	for i, f := range se.Failures {
+		if unwrapped[i] != f.Err {
+			t.Fatalf("Unwrap()[%d] is not Failures[%d].Err", i, i)
+		}
+		// errors.Is must find each leaf through the multi-error Unwrap.
+		if !errors.Is(err, f.Err) {
+			t.Fatalf("errors.Is(err, Failures[%d].Err) = false", i)
+		}
+	}
+	if errors.Is(err, ErrCanceled) {
+		t.Fatal("errors.Is matched ErrCanceled on a non-canceled sweep")
+	}
+}
+
+// TestSweepCancelBeforeRun: canceling an unstarted sweep fails every
+// scenario with ErrCanceled without running any of them.
+func TestSweepCancelBeforeRun(t *testing.T) {
+	sw := NewSweep([]Scenario{sweepScenario("c0", 1), sweepScenario("c1", 2)}, SweepOptions{Workers: 2})
+	sw.Cancel()
+	results, err := sw.Run()
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled through the SweepError", err)
+	}
+	var se *SweepError
+	if !errors.As(err, &se) || len(se.Failures) != 2 {
+		t.Fatalf("err = %v, want both scenarios failed", err)
+	}
+	for i, res := range results {
+		if res != nil {
+			t.Fatalf("canceled scenario %d produced a result", i)
+		}
+	}
+}
+
+// TestSweepCancelMidRun: Cancel issued from inside an observer
+// callback (the serve layer's shape) stops the running session at its
+// next batch boundary and fails the not-yet-started scenarios without
+// building them.
+func TestSweepCancelMidRun(t *testing.T) {
+	long := sessionScenario(1)
+	long.Name = "long"
+	scenarios := []Scenario{long, sweepScenario("later-a", 2), sweepScenario("later-b", 3)}
+
+	var sw *Sweep
+	var dones int
+	obs := ObserverFunc(func(ev ProgressEvent) {
+		if ev.Kind == ProgressSnapshot {
+			sw.Cancel()
+		}
+		if ev.Kind == ProgressDone {
+			dones++
+		}
+	})
+	sw = NewSweep(scenarios, SweepOptions{
+		Workers:       1,
+		Observer:      obs,
+		SnapshotEvery: 100 * units.Microsecond,
+		Clock:         fakeClock(),
+	})
+	results, err := sw.Run()
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	var se *SweepError
+	if !errors.As(err, &se) || len(se.Failures) != 3 {
+		t.Fatalf("err = %v, want all three scenarios canceled", err)
+	}
+	for i, res := range results {
+		if res != nil {
+			t.Fatalf("canceled sweep retained a result at %d", i)
+		}
+	}
+	if dones != 3 {
+		t.Fatalf("%d Done events, want one per scenario", dones)
 	}
 }

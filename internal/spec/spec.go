@@ -48,6 +48,10 @@ type Spec struct {
 	Version int `json:"version"`
 	// Name labels the run in results and progress lines.
 	Name string `json:"name"`
+	// RunID, when set, is echoed back by the serve layer (run handles,
+	// SSE events, report rows). Compile ignores it — it is submission
+	// metadata, not simulation input.
+	RunID string `json:"runId,omitempty"`
 	// Seed drives all randomness; the same spec + seed reproduces
 	// every number exactly.
 	Seed uint64 `json:"seed"`
@@ -324,4 +328,9 @@ type Outputs struct {
 	// lazily under it. Incompatible with sampleShortPackets,
 	// collectTimeSeries and replication.
 	StreamStats bool `json:"streamStats,omitempty"`
+	// Report includes this run in the self-contained HTML report the
+	// serve layer (and examples/serve) renders. Compile ignores it; a
+	// faulted leaf-spine run with report set also records its
+	// trace.LinkFault timeline for the report's fault section.
+	Report bool `json:"report,omitempty"`
 }
